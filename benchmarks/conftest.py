@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+Every module regenerates one table or figure of the paper's evaluation
+(Section 8).  The sweeps run once per session (cached fixtures), print
+the paper-style series to stdout, and register one representative
+timing with pytest-benchmark so ``pytest benchmarks/ --benchmark-only``
+produces a comparable report.
+
+Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow or shrink
+every dataset proportionally.
+"""
+
+import os
+
+import pytest
+
+#: Baseline dataset sizes; multiplied by REPRO_BENCH_SCALE.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: The theta sweep every figure uses (paper: delta from 0.7 to 0.85).
+THETAS = (0.7, 0.75, 0.8, 0.85)
+
+
+def scaled(n: int) -> int:
+    """Apply the global scale factor to a dataset size."""
+    return max(10, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    """Dataset sizes per application, after scaling."""
+    return {
+        "string_matching": scaled(300),
+        "schema_matching": scaled(600),
+        "inclusion_dependency": scaled(800),
+        "n_references": max(5, scaled(20)),
+    }

@@ -1,0 +1,110 @@
+"""Ablation: greedy signature selection vs the NP-hard optimum vs random.
+
+DESIGN.md calls out the cost/value greedy (Section 4.3) as a design
+choice made because optimal selection is NP-complete (Theorem 2).  This
+bench measures what the heuristic leaves on the table: for references
+small enough for exact branch and bound, compare total inverted-list
+cost (Problem 3's objective) and resulting candidate counts across
+greedy / optimal / random selection.
+
+Expected shape: greedy within a few percent of optimal, random far
+worse -- supporting the paper's "works well in practice" claim.
+"""
+
+import random
+
+import pytest
+
+from repro.core.records import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.signatures import (
+    ExhaustiveScheme,
+    RandomScheme,
+    WeightedScheme,
+    signature_cost,
+)
+from repro.bench.reporting import print_series
+from repro.workloads.applications import schema_matching
+
+
+@pytest.fixture(scope="module")
+def schema_data(bench_sizes):
+    workload = schema_matching(n_sets=max(100, bench_sizes["schema_matching"] // 2))
+    collection = workload.collection()
+    index = InvertedIndex(collection)
+    phi = SimilarityFunction(SimilarityKind.JACCARD)
+    return collection, index, phi
+
+
+@pytest.fixture(scope="module")
+def ablation_costs(schema_data):
+    collection, index, phi = schema_data
+    schemes = {
+        "GREEDY": WeightedScheme(),
+        "OPTIMAL": ExhaustiveScheme(max_tokens=16),
+        "RANDOM": RandomScheme(seed=1),
+    }
+    rng = random.Random(0)
+    sample = rng.sample(range(len(collection)), min(60, len(collection)))
+    totals = {name: 0 for name in schemes}
+    comparable = 0
+    for set_id in sample:
+        reference = collection[set_id]
+        theta = 0.7 * len(reference)
+        costs = {}
+        for name, scheme in schemes.items():
+            signature = scheme.generate(reference, theta, phi, index)
+            if signature is None:
+                costs = None
+                break
+            costs[name] = signature_cost(signature, index)
+        if costs is None:
+            continue
+        comparable += 1
+        for name, cost in costs.items():
+            totals[name] += cost
+    assert comparable > 0
+    return totals, comparable
+
+
+def test_ablation_series(ablation_costs):
+    totals, comparable = ablation_costs
+    print_series(
+        f"Ablation: signature selection cost over {comparable} references",
+        "selector",
+        list(totals),
+        {"total inverted-list cost": [float(v) for v in totals.values()]},
+        unit="",
+    )
+
+
+def test_optimal_never_worse_than_greedy(ablation_costs):
+    totals, _ = ablation_costs
+    assert totals["OPTIMAL"] <= totals["GREEDY"]
+
+
+def test_greedy_close_to_optimal(ablation_costs):
+    totals, _ = ablation_costs
+    # The paper's justification for the heuristic: near-optimal cost.
+    assert totals["GREEDY"] <= totals["OPTIMAL"] * 1.5 + 10
+
+
+def test_random_clearly_worse(ablation_costs):
+    totals, _ = ablation_costs
+    assert totals["RANDOM"] > totals["GREEDY"]
+
+
+def test_ablation_benchmark_greedy(schema_data, benchmark):
+    collection, index, phi = schema_data
+
+    def run():
+        scheme = WeightedScheme()
+        built = 0
+        for reference in collection:
+            if scheme.generate(reference, 0.7 * len(reference), phi, index):
+                built += 1
+        return built
+
+    built = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert built > 0

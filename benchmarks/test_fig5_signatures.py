@@ -1,0 +1,121 @@
+"""Figure 5: runtime of the signature schemes with varying theta.
+
+Replicates Section 8.2: WEIGHTED, COMBUNWEIGHTED (FastJoin-style),
+SKYLINE and DICHOTOMY are swept over delta in {0.7, 0.75, 0.8, 0.85}
+for the three applications, with the refinement filters and reduction
+DISABLED so the signatures' candidate counts drive the runtime.
+
+Expected shape (paper):
+* every scheme gets faster as theta grows;
+* the weighted family beats COMBUNWEIGHTED at every point;
+* at alpha = 0 the three weighted variants coincide (Fig 5b);
+* DICHOTOMY shines at high alpha, SKYLINE at low alpha.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.reporting import print_series
+from benchmarks.conftest import THETAS
+from repro.workloads.applications import (
+    inclusion_dependency,
+    schema_matching,
+    string_matching,
+)
+
+SCHEMES = ("weighted", "comb_unweighted", "skyline", "dichotomy")
+
+
+def _sweep(workload_factory, **factory_kwargs):
+    """runtime and verified-candidate series per scheme over THETAS."""
+    times = {scheme: [] for scheme in SCHEMES}
+    verified = {scheme: [] for scheme in SCHEMES}
+    for delta in THETAS:
+        for scheme in SCHEMES:
+            workload = workload_factory(delta=delta, **factory_kwargs)
+            workload = workload.with_config(
+                scheme=scheme,
+                check_filter=False,
+                nn_filter=False,
+                reduction=False,
+            )
+            result = run_workload(workload)
+            times[scheme].append(result.seconds)
+            verified[scheme].append(result.verified)
+    return times, verified
+
+
+@pytest.fixture(scope="module")
+def fig5a(bench_sizes):
+    return _sweep(
+        string_matching, n_sets=bench_sizes["string_matching"], alpha=0.8
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5b(bench_sizes):
+    return _sweep(
+        schema_matching, n_sets=bench_sizes["schema_matching"], alpha=0.0
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5c(bench_sizes):
+    return _sweep(
+        inclusion_dependency,
+        n_sets=bench_sizes["inclusion_dependency"],
+        n_references=bench_sizes["n_references"],
+        alpha=0.5,
+    )
+
+
+def test_fig5a_string_matching(fig5a):
+    times, verified = fig5a
+    print_series(
+        "Figure 5a: signature schemes, string matching (alpha=0.8)",
+        "theta", THETAS, times,
+        extra={f"verified:{s}": verified[s] for s in SCHEMES},
+    )
+    for theta_idx in range(len(THETAS)):
+        # Weighted-family schemes never verify more candidates than the
+        # FastJoin-style scheme.
+        assert (
+            verified["dichotomy"][theta_idx]
+            <= verified["comb_unweighted"][theta_idx]
+        )
+
+
+def test_fig5b_schema_matching(fig5b):
+    times, verified = fig5b
+    print_series(
+        "Figure 5b: signature schemes, schema matching (alpha=0)",
+        "theta", THETAS, times,
+        extra={f"verified:{s}": verified[s] for s in SCHEMES},
+    )
+    # At alpha = 0 the weighted family coincides exactly.
+    assert verified["weighted"] == verified["skyline"] == verified["dichotomy"]
+    for theta_idx in range(len(THETAS)):
+        assert (
+            verified["weighted"][theta_idx]
+            <= verified["comb_unweighted"][theta_idx]
+        )
+
+
+def test_fig5c_inclusion_dependency(fig5c):
+    times, verified = fig5c
+    print_series(
+        "Figure 5c: signature schemes, inclusion dependency (alpha=0.5)",
+        "theta", THETAS, times,
+        extra={f"verified:{s}": verified[s] for s in SCHEMES},
+    )
+    for scheme in SCHEMES:
+        # Candidates shrink (weakly) as theta grows.
+        assert verified[scheme] == sorted(verified[scheme], reverse=True)
+
+
+def test_fig5_benchmark_dichotomy(bench_sizes, benchmark):
+    workload = string_matching(
+        n_sets=max(50, bench_sizes["string_matching"] // 4), alpha=0.8
+    ).with_config(scheme="dichotomy", check_filter=False, nn_filter=False,
+                  reduction=False)
+    benchmark.pedantic(lambda: run_workload(workload), rounds=3, iterations=1)

@@ -1,0 +1,110 @@
+"""Figure 6: runtime of the refinement filters with varying theta.
+
+Replicates Section 8.3: NOFILTER vs CHECK vs NEARESTNEIGHBOR over
+delta in {0.7, 0.75, 0.8, 0.85} for the three applications, all with
+the DICHOTOMY signature scheme and reduction disabled.
+
+Expected shape (paper): CHECK and NEARESTNEIGHBOR vastly outstrip
+NOFILTER; NEARESTNEIGHBOR prunes the most candidates.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.reporting import print_series
+from benchmarks.conftest import THETAS
+from repro.workloads.applications import (
+    inclusion_dependency,
+    schema_matching,
+    string_matching,
+)
+
+FILTER_MODES = {
+    "NOFILTER": {"check_filter": False, "nn_filter": False},
+    "CHECK": {"check_filter": True, "nn_filter": False},
+    "NEARESTNEIGHBOR": {"check_filter": True, "nn_filter": True},
+}
+
+
+def _sweep(workload_factory, **factory_kwargs):
+    times = {mode: [] for mode in FILTER_MODES}
+    verified = {mode: [] for mode in FILTER_MODES}
+    for delta in THETAS:
+        for mode, toggles in FILTER_MODES.items():
+            workload = workload_factory(delta=delta, **factory_kwargs)
+            workload = workload.with_config(
+                scheme="dichotomy", reduction=False, **toggles
+            )
+            result = run_workload(workload)
+            times[mode].append(result.seconds)
+            verified[mode].append(result.verified)
+    return times, verified
+
+
+@pytest.fixture(scope="module")
+def fig6a(bench_sizes):
+    return _sweep(
+        string_matching, n_sets=bench_sizes["string_matching"], alpha=0.8
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6b(bench_sizes):
+    return _sweep(
+        schema_matching, n_sets=bench_sizes["schema_matching"], alpha=0.0
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6c(bench_sizes):
+    return _sweep(
+        inclusion_dependency,
+        n_sets=bench_sizes["inclusion_dependency"],
+        n_references=bench_sizes["n_references"],
+        alpha=0.5,
+    )
+
+
+def _assert_funnel(verified):
+    for i in range(len(THETAS)):
+        assert verified["CHECK"][i] <= verified["NOFILTER"][i]
+        assert verified["NEARESTNEIGHBOR"][i] <= verified["CHECK"][i]
+
+
+def test_fig6a_string_matching(fig6a):
+    times, verified = fig6a
+    print_series(
+        "Figure 6a: filters, string matching (alpha=0.8)",
+        "theta", THETAS, times,
+        extra={f"verified:{m}": verified[m] for m in FILTER_MODES},
+    )
+    _assert_funnel(verified)
+
+
+def test_fig6b_schema_matching(fig6b):
+    times, verified = fig6b
+    print_series(
+        "Figure 6b: filters, schema matching (alpha=0)",
+        "theta", THETAS, times,
+        extra={f"verified:{m}": verified[m] for m in FILTER_MODES},
+    )
+    _assert_funnel(verified)
+    # The filters must actually bite somewhere on this workload.
+    assert sum(verified["NEARESTNEIGHBOR"]) < sum(verified["NOFILTER"])
+
+
+def test_fig6c_inclusion_dependency(fig6c):
+    times, verified = fig6c
+    print_series(
+        "Figure 6c: filters, inclusion dependency (alpha=0.5)",
+        "theta", THETAS, times,
+        extra={f"verified:{m}": verified[m] for m in FILTER_MODES},
+    )
+    _assert_funnel(verified)
+
+
+def test_fig6_benchmark_nn_filter(bench_sizes, benchmark):
+    workload = schema_matching(
+        n_sets=max(50, bench_sizes["schema_matching"] // 4)
+    ).with_config(scheme="dichotomy", reduction=False)
+    benchmark.pedantic(lambda: run_workload(workload), rounds=3, iterations=1)

@@ -1,0 +1,122 @@
+"""Figure 8: SilkMoth vs the FastJoin-style baseline on string matching.
+
+Replicates Section 8.5: both systems run the approximate string
+matching workload (SET-SIMILARITY, edit similarity); the left panel
+sweeps theta at alpha = 0.8, the right panel sweeps alpha at theta =
+0.8.
+
+Expected shape (paper): SilkMoth wins everywhere, with the gap largest
+at low alpha and shrinking as alpha grows.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.fastjoin import FastJoinBaseline
+from repro.bench.reporting import print_series
+from benchmarks.conftest import THETAS
+from repro.core.engine import SilkMoth
+from repro.workloads.applications import string_matching
+
+ALPHAS = (0.7, 0.75, 0.8, 0.85)
+
+
+def _run_pair(workload):
+    """(silkmoth, fastjoin) timings and verified counts for one config."""
+    collection = workload.collection()
+
+    start = time.perf_counter()
+    silkmoth = SilkMoth(collection, workload.config)
+    sm_matches = len(silkmoth.discover())
+    sm_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fastjoin = FastJoinBaseline(collection, workload.config)
+    fj_matches = len(fastjoin.discover())
+    fj_time = time.perf_counter() - start
+
+    assert sm_matches == fj_matches  # exactness of both pipelines
+    return (
+        sm_time,
+        fj_time,
+        silkmoth.stats.verified,
+        fastjoin.stats.verified,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig8a(bench_sizes):
+    """Varying theta at alpha = 0.8."""
+    rows = [
+        _run_pair(
+            string_matching(
+                n_sets=bench_sizes["string_matching"], delta=delta, alpha=0.8
+            )
+        )
+        for delta in THETAS
+    ]
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig8b(bench_sizes):
+    """Varying alpha at theta = 0.8."""
+    rows = [
+        _run_pair(
+            string_matching(
+                n_sets=bench_sizes["string_matching"], delta=0.8, alpha=alpha
+            )
+        )
+        for alpha in ALPHAS
+    ]
+    return rows
+
+
+def test_fig8a_theta_sweep(fig8a):
+    print_series(
+        "Figure 8 (left): SilkMoth vs FastJoin, varying theta (alpha=0.8)",
+        "theta", THETAS,
+        {
+            "SILKMOTH": [row[0] for row in fig8a],
+            "FASTJOIN": [row[1] for row in fig8a],
+        },
+        extra={
+            "SM verified": [row[2] for row in fig8a],
+            "FJ verified": [row[3] for row in fig8a],
+        },
+    )
+    for sm_time, fj_time, sm_verified, fj_verified in fig8a:
+        assert sm_verified <= fj_verified
+
+
+def test_fig8b_alpha_sweep(fig8b):
+    print_series(
+        "Figure 8 (right): SilkMoth vs FastJoin, varying alpha (theta=0.8)",
+        "alpha", ALPHAS,
+        {
+            "SILKMOTH": [row[0] for row in fig8b],
+            "FASTJOIN": [row[1] for row in fig8b],
+        },
+        extra={
+            "SM verified": [row[2] for row in fig8b],
+            "FJ verified": [row[3] for row in fig8b],
+        },
+    )
+    for sm_time, fj_time, sm_verified, fj_verified in fig8b:
+        assert sm_verified <= fj_verified
+    # SilkMoth's filters must cut candidates substantially somewhere in
+    # the sweep (the paper reports up to 13x overall).
+    assert sum(row[2] for row in fig8b) < sum(row[3] for row in fig8b)
+
+
+def test_fig8_benchmark_silkmoth(bench_sizes, benchmark):
+    workload = string_matching(
+        n_sets=max(50, bench_sizes["string_matching"] // 4), delta=0.8, alpha=0.8
+    )
+    collection = workload.collection()
+
+    def run():
+        return len(SilkMoth(collection, workload.config).discover())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

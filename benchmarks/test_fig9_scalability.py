@@ -1,0 +1,96 @@
+"""Figure 9: scalability with the number of sets.
+
+Replicates Section 8.6: each application is run with all optimisations
+at growing dataset sizes, for every theta in the sweep.
+
+Expected shape (paper): runtime grows with the number of sets clearly
+faster than linearly but far below the quadratic all-pairs bound, and
+larger theta is uniformly cheaper.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.reporting import print_series
+from benchmarks.conftest import THETAS, scaled
+from repro.workloads.applications import (
+    inclusion_dependency,
+    schema_matching,
+    string_matching,
+)
+
+
+def _sweep(workload_factory, sizes, **factory_kwargs):
+    times = {f"theta={delta}": [] for delta in THETAS}
+    for n_sets in sizes:
+        for delta in THETAS:
+            workload = workload_factory(
+                n_sets=n_sets, delta=delta, **factory_kwargs
+            )
+            result = run_workload(workload)
+            times[f"theta={delta}"].append(result.seconds)
+    return times
+
+
+@pytest.fixture(scope="module")
+def fig9a():
+    sizes = [scaled(n) for n in (75, 150, 300)]
+    return sizes, _sweep(string_matching, sizes, alpha=0.8)
+
+
+@pytest.fixture(scope="module")
+def fig9b():
+    sizes = [scaled(n) for n in (150, 300, 600)]
+    return sizes, _sweep(schema_matching, sizes, alpha=0.0)
+
+
+@pytest.fixture(scope="module")
+def fig9c():
+    sizes = [scaled(n) for n in (200, 400, 800)]
+    return sizes, _sweep(
+        inclusion_dependency, sizes, alpha=0.5, n_references=10
+    )
+
+
+def _assert_scaling(sizes, times):
+    for series in times.values():
+        # Runtime must grow with data size...
+        assert series[-1] > series[0]
+        # ...but stay below the quadratic all-pairs blowup.
+        growth = series[-1] / max(series[0], 1e-9)
+        quadratic = (sizes[-1] / sizes[0]) ** 2
+        assert growth < quadratic * 2.0  # generous noise margin
+
+
+def test_fig9a_string_matching(fig9a):
+    sizes, times = fig9a
+    print_series(
+        "Figure 9a: scalability, string matching (alpha=0.8)",
+        "#sets", sizes, times,
+    )
+    _assert_scaling(sizes, times)
+
+
+def test_fig9b_schema_matching(fig9b):
+    sizes, times = fig9b
+    print_series(
+        "Figure 9b: scalability, schema matching (alpha=0)",
+        "#sets", sizes, times,
+    )
+    _assert_scaling(sizes, times)
+
+
+def test_fig9c_inclusion_dependency(fig9c):
+    sizes, times = fig9c
+    print_series(
+        "Figure 9c: scalability, inclusion dependency (alpha=0.5)",
+        "#sets", sizes, times,
+    )
+    # SEARCH mode with a fixed reference count: growth must be tame.
+    for series in times.values():
+        assert series[-1] < max(series[0], 1e-3) * 100
+
+
+def test_fig9_benchmark_midsize(benchmark):
+    workload = schema_matching(n_sets=scaled(300))
+    benchmark.pedantic(lambda: run_workload(workload), rounds=3, iterations=1)

@@ -1,0 +1,75 @@
+"""Parallel discovery: speedup vs process count (the 64-core substitute).
+
+The paper ran on 64 cores; `repro.core.parallel` reproduces the fan-out
+on our substrate.  This bench times self-discovery on the schema
+matching workload at 1, 2 and 4 processes and asserts the output never
+changes.  Speedup is sublinear (per-process index build is amortised
+overhead), which the series makes visible.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.core.parallel import parallel_discover
+from repro.workloads.applications import schema_matching
+
+PROCESS_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def scaling(bench_sizes):
+    n = max(100, bench_sizes["schema_matching"] // 2)
+    workload = schema_matching(n_sets=n)
+    available = multiprocessing.cpu_count()
+    timings = {}
+    outputs = {}
+    for processes in PROCESS_COUNTS:
+        if processes > available:
+            continue
+        start = time.perf_counter()
+        results = parallel_discover(
+            list(workload.sets), workload.config, processes=processes
+        )
+        timings[processes] = time.perf_counter() - start
+        outputs[processes] = [(r.reference_id, r.set_id) for r in results]
+    return timings, outputs
+
+
+def test_parallel_series(scaling):
+    timings, _ = scaling
+    counts = list(timings)
+    print_series(
+        "Parallel discovery: schema matching vs process count",
+        "procs",
+        counts,
+        {"runtime": [timings[p] for p in counts]},
+        extra={
+            "speedup vs 1": [
+                round(timings[counts[0]] / timings[p], 2) for p in counts
+            ]
+        },
+    )
+
+
+def test_output_independent_of_processes(scaling):
+    _, outputs = scaling
+    baselines = list(outputs.values())
+    for other in baselines[1:]:
+        assert other == baselines[0]
+
+
+def test_parallel_benchmark(bench_sizes, benchmark):
+    n = max(60, bench_sizes["schema_matching"] // 8)
+    workload = schema_matching(n_sets=n)
+    processes = min(2, multiprocessing.cpu_count())
+    result = benchmark.pedantic(
+        lambda: parallel_discover(
+            list(workload.sets), workload.config, processes=processes
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert isinstance(result, list)

@@ -1,0 +1,81 @@
+"""Data integration: discover joinable column pairs across a dirty database.
+
+A common data-lake task: given many columns from different sources,
+which pairs are *joinable* -- i.e. one column approximately contains
+the other even though values are abbreviated, typo'd and reordered?
+This is the paper's approximate-inclusion-dependency application
+(Section 8.1), run here on synthetic address columns in the style of
+the motivating Table 1.
+
+The demo plants three (clean, dirty) column pairs among decoys, runs
+SET-CONTAINMENT discovery, and checks that exactly the planted pairs
+surface.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import Relatedness, SetCollection, SilkMoth, SilkMothConfig
+from repro.datasets.addresses import address_database
+
+
+def main() -> None:
+    database = address_database(
+        n_columns=8, rows_per_column=25, joinable_pairs=3, seed=11
+    )
+    names = list(database)
+    print(f"database with {len(names)} columns:")
+    for name in names:
+        preview = database[name][0]
+        print(f"   {name:<14} e.g. {preview!r}")
+
+    # Each column is a set; each address a set element; each word a token.
+    collection = SetCollection.from_strings(database.values())
+    config = SilkMothConfig(
+        metric=Relatedness.CONTAINMENT,
+        delta=0.55,   # "most of the reference column matches"
+        alpha=0.3,    # ignore weak row-to-row matches
+    )
+    engine = SilkMoth(collection, config)
+
+    print("\nsearching for joinable pairs (SET-CONTAINMENT, delta=0.55) ...")
+    found: list[tuple[str, str, float]] = []
+    for reference in collection:
+        for result in engine.search(reference, skip_set=reference.set_id):
+            found.append(
+                (
+                    names[reference.set_id],
+                    names[result.set_id],
+                    result.relatedness,
+                )
+            )
+
+    print(f"\n{len(found)} joinable direction(s):")
+    for ref_name, cand_name, value in sorted(found, key=lambda t: -t[2]):
+        print(f"   {ref_name:<14} ->  {cand_name:<14} containment={value:.3f}")
+
+    # The funnel: how much work the signatures and filters saved.
+    stats = engine.stats
+    n = len(collection)
+    print(
+        f"\nfunnel over {stats.passes} searches x {n} sets "
+        f"({stats.passes * (n - 1)} possible comparisons):"
+    )
+    print(f"   initial candidates : {stats.initial_candidates}")
+    print(f"   after check filter : {stats.after_check}")
+    print(f"   after NN filter    : {stats.after_nn}")
+    print(f"   verified (matching): {stats.verified}")
+
+    planted = {(f"addr_{i}", f"addr_{i}_dirty") for i in range(3)}
+    hits = {
+        tuple(sorted((a, b), key=lambda s: (s.endswith("_dirty"), s)))
+        for a, b, _ in found
+    }
+    missing = planted - hits
+    if missing:
+        print(f"\nWARNING: planted pairs not found: {missing}")
+    else:
+        print("\nall planted joinable pairs were recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Trace SilkMoth's pipeline decisions for individual set pairs.
+
+The engine's exactness rests on a chain of provable bounds: signature
+validity (Lemma 1), the check filter (Section 5.1) and the nearest-
+neighbour filter (Section 5.2), then maximum matching verification.
+``repro.explain`` replays any (reference, candidate) pair through that
+chain and reports every intermediate quantity -- which is how you debug
+"why wasn't this pair matched?" questions in real integrations.
+
+Run:  python examples/explain_pipeline.py
+"""
+
+from repro import (
+    Relatedness,
+    SetCollection,
+    SilkMoth,
+    SilkMothConfig,
+    explain,
+    format_explanation,
+)
+
+#: Table 1 of the paper, plus a distractor set.
+SETS = [
+    # 0: Location
+    ["77 Mass Ave Boston MA", "5th St 02115 Seattle WA", "77 5th St Chicago IL"],
+    # 1: Address (related to Location)
+    [
+        "77 Massachusetts Avenue Boston MA",
+        "Fifth Street Seattle MA 02115",
+        "77 Fifth Street Chicago IL",
+        "One Kendall Square Cambridge MA",
+    ],
+    # 2: a column about something else entirely
+    ["apples oranges pears", "bread milk eggs", "salt pepper cumin"],
+]
+
+
+def main() -> None:
+    collection = SetCollection.from_strings(SETS)
+    config = SilkMothConfig(
+        metric=Relatedness.CONTAINMENT, delta=0.3, alpha=0.2
+    )
+    engine = SilkMoth(collection, config)
+    reference = collection[0]
+
+    for candidate_id in (1, 2):
+        explanation = explain(engine, reference, candidate_id)
+        print(format_explanation(explanation, engine, reference))
+        print()
+
+    print(
+        "Note how candidate 2 dies at the signature stage: it shares no\n"
+        "signature token with the reference, so the engine never even\n"
+        "fetches it -- that is the Lemma 1 guarantee at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""SilkMoth reproduction: exact related-set search with maximum matching
+constraints (Deng, Kim, Madden, Stonebraker -- VLDB 2017).
+
+Quickstart::
+
+    from repro import SetCollection, SilkMoth, SilkMothConfig
+    from repro import Relatedness, SimilarityKind
+
+    data = [["77 Massachusetts Avenue Boston MA", "Fifth Street Seattle MA"],
+            ["77 Mass Ave Boston MA", "5th St Seattle WA"]]
+    collection = SetCollection.from_strings(data)
+    config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.3)
+    engine = SilkMoth(collection, config)
+    pairs = engine.discover()
+
+The public surface re-exports the pieces most users need; the
+subpackages (:mod:`repro.signatures`, :mod:`repro.filters`,
+:mod:`repro.matching`, ...) expose the internals for experimentation.
+"""
+
+from repro.core.clustering import cluster_related_sets, representatives
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import DiscoveryResult, SearchResult, SilkMoth
+from repro.core.explain import Explanation, explain, format_explanation
+from repro.core.parallel import parallel_discover
+from repro.core.partitioned import partitioned_discover
+from repro.core.records import ElementRecord, SetCollection, SetRecord
+from repro.core.topk import TopKResult, TopKSearcher
+from repro.matching.assignment import AlignedPair, matching_alignment
+from repro.sim.functions import (
+    SimilarityFunction,
+    SimilarityKind,
+    cosine,
+    dice,
+    eds,
+    jaccard,
+    neds,
+    overlap,
+)
+from repro.sim.levenshtein import levenshtein
+from repro.matching.score import matching_score
+from repro.baselines.brute_force import brute_force_discover, brute_force_search
+from repro.baselines.fastjoin import FastJoinBaseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignedPair",
+    "DiscoveryResult",
+    "ElementRecord",
+    "Explanation",
+    "FastJoinBaseline",
+    "Relatedness",
+    "SearchResult",
+    "SetCollection",
+    "SetRecord",
+    "SilkMoth",
+    "SilkMothConfig",
+    "SimilarityFunction",
+    "SimilarityKind",
+    "TopKResult",
+    "TopKSearcher",
+    "brute_force_discover",
+    "brute_force_search",
+    "cluster_related_sets",
+    "cosine",
+    "dice",
+    "eds",
+    "explain",
+    "format_explanation",
+    "jaccard",
+    "levenshtein",
+    "matching_alignment",
+    "matching_score",
+    "neds",
+    "overlap",
+    "parallel_discover",
+    "partitioned_discover",
+    "representatives",
+    "__version__",
+]

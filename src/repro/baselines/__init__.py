@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.brute_force` -- the naive all-pairs maximum
+  matching method (the correctness oracle and the NOOPT anchor).
+* :mod:`repro.baselines.fastjoin` -- a FastJoin-style competitor:
+  combined-unweighted signatures, no refinement filters, no
+  reduction-based verification (Section 8.5 describes exactly these
+  omissions).
+"""
+
+from repro.baselines.brute_force import brute_force_discover, brute_force_search
+from repro.baselines.fastjoin import FastJoinBaseline
+
+__all__ = ["FastJoinBaseline", "brute_force_discover", "brute_force_search"]

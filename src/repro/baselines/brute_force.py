@@ -1,0 +1,73 @@
+"""Brute-force related-set search: the correctness oracle.
+
+Computes the maximum matching between every pair of sets; O(n^3 m^2)
+overall.  Used by the tests to validate that every engine configuration
+returns exactly the same related pairs, and by Figure 4 as the
+unoptimised anchor.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import (
+    EPSILON,
+    DiscoveryResult,
+    SearchResult,
+    relatedness_value,
+)
+from repro.core.records import SetCollection, SetRecord
+from repro.matching.score import matching_score
+
+
+def brute_force_search(
+    reference: SetRecord,
+    collection: SetCollection,
+    config: SilkMothConfig,
+    skip_set: int | None = None,
+) -> list[SearchResult]:
+    """All sets related to *reference*, by exhaustive matching."""
+    phi = config.phi
+    results: list[SearchResult] = []
+    if len(reference) == 0:
+        return results
+    for candidate in collection:
+        if candidate.set_id == skip_set:
+            continue
+        score = matching_score(reference, candidate, phi)
+        value = relatedness_value(
+            config.metric, score, len(reference), len(candidate)
+        )
+        if value >= config.delta - EPSILON:
+            results.append(SearchResult(candidate.set_id, score, value))
+    return results
+
+
+def brute_force_discover(
+    collection: SetCollection,
+    config: SilkMothConfig,
+    references: SetCollection | None = None,
+) -> list[DiscoveryResult]:
+    """All related pairs, by exhaustive matching.
+
+    Mirrors :meth:`repro.core.engine.SilkMoth.discover`'s conventions:
+    in self-discovery mode, self pairs are skipped and symmetric
+    (SET-SIMILARITY) pairs are reported once with reference_id < set_id.
+    """
+    self_mode = references is None
+    refs = collection if self_mode else references
+    symmetric = config.metric is Relatedness.SIMILARITY
+    output: list[DiscoveryResult] = []
+    for reference in refs:
+        skip = reference.set_id if self_mode else None
+        for result in brute_force_search(reference, collection, config, skip_set=skip):
+            if self_mode and symmetric and result.set_id < reference.set_id:
+                continue
+            output.append(
+                DiscoveryResult(
+                    reference_id=reference.set_id,
+                    set_id=result.set_id,
+                    score=result.score,
+                    relatedness=result.relatedness,
+                )
+            )
+    return output

@@ -1,0 +1,68 @@
+"""Run one experiment configuration and collect time + funnel counters.
+
+Every figure in the paper is a series of (x, runtime) points for some
+sweep; :func:`run_workload` produces one point, and the benchmark
+modules assemble the sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.stats import RunStats
+from repro.workloads.applications import Workload
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one experiment point."""
+
+    label: str
+    seconds: float
+    matches: int
+    stats: RunStats = field(repr=False)
+
+    @property
+    def initial_candidates(self) -> int:
+        return self.stats.initial_candidates
+
+    @property
+    def verified(self) -> int:
+        return self.stats.verified
+
+
+def run_discovery(
+    collection, config: SilkMothConfig, label: str = ""
+) -> BenchResult:
+    """Time a DISCOVERY run (index build included, per Section 8.2)."""
+    start = time.perf_counter()
+    engine = SilkMoth(collection, config)
+    results = engine.discover()
+    elapsed = time.perf_counter() - start
+    return BenchResult(label, elapsed, len(results), engine.stats)
+
+
+def run_search(
+    collection, config: SilkMothConfig, reference_ids: list[int], label: str = ""
+) -> BenchResult:
+    """Time SEARCH passes (index build excluded, per Section 8.2)."""
+    engine = SilkMoth(collection, config)
+    start = time.perf_counter()
+    total = 0
+    for ref_id in reference_ids:
+        total += len(engine.search(collection[ref_id], skip_set=ref_id))
+    elapsed = time.perf_counter() - start
+    return BenchResult(label, elapsed, total, engine.stats)
+
+
+def run_workload(workload: Workload, label: str = "") -> BenchResult:
+    """Run a workload in its natural mode (DISCOVERY or SEARCH)."""
+    collection = workload.collection()
+    if workload.config.metric is Relatedness.CONTAINMENT or workload.n_references:
+        return run_search(
+            collection, workload.config, workload.reference_ids(), label
+        )
+    return run_discovery(collection, workload.config, label)

@@ -1,0 +1,53 @@
+"""Paper-style series tables for benchmark output.
+
+Each figure in the evaluation is a set of named series over a shared
+x-axis (theta, alpha, or dataset size).  :func:`format_series` renders
+the same rows the paper plots, so EXPERIMENTS.md can record
+paper-vs-measured shape directly from benchmark stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    unit: str = "s",
+    extra: Mapping[str, Sequence] | None = None,
+) -> str:
+    """Render one figure's data as an aligned text table."""
+    lines = [f"== {title} =="]
+    header = [f"{x_label:>10}"] + [f"{name:>18}" for name in series]
+    if extra:
+        header += [f"{name:>18}" for name in extra]
+    lines.append(" ".join(header))
+    for i, x in enumerate(x_values):
+        row = [f"{x!s:>10}"]
+        for values in series.values():
+            value = values[i]
+            if isinstance(value, float):
+                row.append(f"{value:>16.4f}{unit:>2}")
+            else:
+                row.append(f"{value!s:>18}")
+        if extra:
+            for values in extra.values():
+                row.append(f"{values[i]!s:>18}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    unit: str = "s",
+    extra: Mapping[str, Sequence] | None = None,
+) -> None:
+    """Print :func:`format_series` output (used by the benchmark suite)."""
+    print()
+    print(format_series(title, x_label, x_values, series, unit, extra))

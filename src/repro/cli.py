@@ -1,0 +1,429 @@
+"""Command-line interface: ``silkmoth`` discover / search / stats.
+
+The CLI is a thin layer over the library so that related-set discovery
+works on real files without writing any Python:
+
+* ``silkmoth discover titles.txt --delta 0.8 --sim eds --alpha 0.8``
+  finds all related pairs within one input (the paper's DISCOVERY mode).
+* ``silkmoth search data.jsonl --reference 3 --metric containment``
+  finds everything related to one reference set (SEARCH mode).
+* ``silkmoth stats data.csv --format csv-columns`` prints the Table 3
+  style dataset profile without running any search.
+
+Input formats (``--format``):
+
+=============  ========================================================
+``text``       one set per line, elements are whitespace words
+``jsonl``      one JSON array of element strings per line
+``csv-columns``  each CSV column is a set of cell values
+``csv-schema``   the whole CSV is one set; each column is an element
+=============  ========================================================
+
+Results go to stdout as TSV by default, or to ``--output`` as CSV/JSON
+(by file extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.core.topk import TopKSearcher
+from repro.io.loaders import (
+    load_csv_columns,
+    load_csv_schema,
+    load_jsonl_sets,
+    load_string_sets,
+)
+from repro.io.writers import (
+    write_discovery_csv,
+    write_discovery_json,
+    write_search_csv,
+    write_search_json,
+)
+from repro.sim.functions import SimilarityKind
+from repro.signatures import SCHEME_NAMES
+
+#: --format choices accepted by every subcommand.
+FORMATS = ("text", "jsonl", "csv-columns", "csv-schema")
+
+
+def load_sets(path: str, fmt: str) -> tuple[list[list[str]], list[str]]:
+    """Load *path* as sets per *fmt*; returns (sets, set labels)."""
+    if fmt == "text":
+        sets = load_string_sets(path)
+        labels = [f"line{i + 1}" for i in range(len(sets))]
+    elif fmt == "jsonl":
+        sets = load_jsonl_sets(path)
+        labels = [f"set{i}" for i in range(len(sets))]
+    elif fmt == "csv-columns":
+        by_column = load_csv_columns(path)
+        labels = list(by_column)
+        sets = [by_column[name] for name in labels]
+    elif fmt == "csv-schema":
+        sets = [load_csv_schema(path)]
+        labels = [Path(path).stem]
+    else:
+        raise ValueError(f"unknown format {fmt!r}")
+    return sets, labels
+
+
+def build_config(args: argparse.Namespace) -> SilkMothConfig:
+    """Translate parsed CLI flags into a :class:`SilkMothConfig`."""
+    return SilkMothConfig(
+        metric=Relatedness(args.metric),
+        similarity=SimilarityKind(args.sim),
+        delta=args.delta,
+        alpha=args.alpha,
+        q=args.q,
+        scheme=args.scheme,
+        check_filter=not args.no_check_filter,
+        nn_filter=not args.no_nn_filter,
+        reduction=not args.no_reduction,
+    )
+
+
+def build_collection(
+    sets: list[list[str]], config: SilkMothConfig
+) -> SetCollection:
+    return SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="input data file")
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="how to map the input file to sets (default: text)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=[m.value for m in Relatedness],
+        default="similarity",
+        help="set relatedness metric (default: similarity)",
+    )
+    parser.add_argument(
+        "--sim",
+        choices=[k.value for k in SimilarityKind],
+        default="jaccard",
+        help="element similarity function (default: jaccard)",
+    )
+    parser.add_argument(
+        "--delta", type=float, default=0.7, help="relatedness threshold (0, 1]"
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.0,
+        help="element similarity threshold [0, 1] (default: 0)",
+    )
+    parser.add_argument(
+        "--q",
+        type=int,
+        default=None,
+        help="gram length for edit similarity (default: largest valid q)",
+    )
+    parser.add_argument(
+        "--scheme",
+        choices=SCHEME_NAMES,
+        default="dichotomy",
+        help="signature scheme (default: dichotomy)",
+    )
+    parser.add_argument(
+        "--no-check-filter", action="store_true", help="disable the check filter"
+    )
+    parser.add_argument(
+        "--no-nn-filter",
+        action="store_true",
+        help="disable the nearest neighbour filter",
+    )
+    parser.add_argument(
+        "--no-reduction",
+        action="store_true",
+        help="disable reduction-based verification",
+    )
+    parser.add_argument(
+        "--output",
+        help="write results to this file (.csv or .json); default stdout TSV",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress summary"
+    )
+
+
+def _write_output(args, results, kind: str, labels: list[str]) -> None:
+    """Emit results to --output (csv/json by extension) or stdout TSV."""
+    if args.output:
+        suffix = Path(args.output).suffix.lower()
+        if suffix == ".csv":
+            writer = write_discovery_csv if kind == "discovery" else write_search_csv
+        elif suffix == ".json":
+            writer = (
+                write_discovery_json if kind == "discovery" else write_search_json
+            )
+        else:
+            raise SystemExit(
+                f"--output must end in .csv or .json, got {args.output!r}"
+            )
+        writer(args.output, results)
+        return
+    out = sys.stdout
+    if kind == "discovery":
+        out.write("reference\tset\tscore\trelatedness\n")
+        for r in results:
+            out.write(
+                f"{labels[r.reference_id]}\t{labels[r.set_id]}"
+                f"\t{r.score:.6g}\t{r.relatedness:.6g}\n"
+            )
+    else:
+        out.write("set\tscore\trelatedness\n")
+        for r in results:
+            out.write(f"{labels[r.set_id]}\t{r.score:.6g}\t{r.relatedness:.6g}\n")
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    collection = build_collection(sets, config)
+    engine = SilkMoth(collection, config)
+    started = time.perf_counter()
+    results = engine.discover()
+    elapsed = time.perf_counter() - started
+    _write_output(args, results, "discovery", labels)
+    if not args.quiet:
+        stats = engine.stats
+        print(
+            f"# {len(results)} related pair(s) among {len(sets)} sets "
+            f"in {elapsed:.3f}s; verified {stats.verified} of "
+            f"{stats.initial_candidates} initial candidates",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    if not 0 <= args.reference < len(sets):
+        print(
+            f"--reference {args.reference} out of range (0..{len(sets) - 1})",
+            file=sys.stderr,
+        )
+        return 1
+    collection = build_collection(sets, config)
+    started = time.perf_counter()
+    if args.top_k is not None:
+        searcher = TopKSearcher(collection, config)
+        outcome = searcher.search(
+            collection[args.reference], args.top_k, skip_set=args.reference
+        )
+        results = list(outcome.results)
+    else:
+        engine = SilkMoth(collection, config)
+        results = engine.search(
+            collection[args.reference], skip_set=args.reference
+        )
+    elapsed = time.perf_counter() - started
+    _write_output(args, results, "search", labels)
+    if not args.quiet:
+        print(
+            f"# {len(results)} related set(s) for reference "
+            f"{labels[args.reference]!r} in {elapsed:.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain, format_explanation
+
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    for name, index in (("--reference", args.reference), ("--candidate", args.candidate)):
+        if not 0 <= index < len(sets):
+            print(
+                f"{name} {index} out of range (0..{len(sets) - 1})",
+                file=sys.stderr,
+            )
+            return 1
+    collection = build_collection(sets, config)
+    engine = SilkMoth(collection, config)
+    reference = collection[args.reference]
+    explanation = explain(engine, reference, args.candidate)
+    print(format_explanation(explanation, engine, reference))
+    return 0
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Verify exactness on this input: engine output == brute force."""
+    import random
+
+    from repro.baselines.brute_force import brute_force_search
+
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    collection = build_collection(sets, config)
+    engine = SilkMoth(collection, config)
+    rng = random.Random(args.seed)
+    sample = list(range(len(sets)))
+    if args.sample and args.sample < len(sample):
+        sample = sorted(rng.sample(sample, args.sample))
+    started = time.perf_counter()
+    mismatches = 0
+    for reference_id in sample:
+        reference = collection[reference_id]
+        got = sorted(
+            r.set_id for r in engine.search(reference, skip_set=reference_id)
+        )
+        expected = sorted(
+            r.set_id
+            for r in brute_force_search(
+                reference, collection, config, skip_set=reference_id
+            )
+        )
+        if got != expected:
+            mismatches += 1
+            print(
+                f"MISMATCH for reference {labels[reference_id]!r}: "
+                f"engine={got} brute-force={expected}",
+                file=sys.stderr,
+            )
+    elapsed = time.perf_counter() - started
+    if mismatches:
+        print(
+            f"selfcheck FAILED: {mismatches}/{len(sample)} references differ",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"selfcheck passed: {len(sample)} reference(s) verified exact "
+        f"against brute force in {elapsed:.3f}s"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    n_sets = len(sets)
+    elements_per_set = sum(len(s) for s in sets) / n_sets
+    token_counts = [
+        len(element.split()) for elements in sets for element in elements
+    ]
+    tokens_per_element = (
+        sum(token_counts) / len(token_counts) if token_counts else 0.0
+    )
+    print(f"sets:               {n_sets}")
+    print(f"elements per set:   {elements_per_set:.2f}")
+    print(f"word tokens/element:{tokens_per_element:.2f}")
+    largest = max(range(n_sets), key=lambda i: len(sets[i]))
+    print(f"largest set:        {labels[largest]!r} ({len(sets[largest])} elements)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="silkmoth",
+        description=(
+            "Exact related-set discovery and search with maximum matching "
+            "constraints (SilkMoth, VLDB 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser(
+        "discover", help="find all related pairs within the input"
+    )
+    _add_common_options(discover)
+    discover.set_defaults(func=cmd_discover)
+
+    search = sub.add_parser(
+        "search", help="find all sets related to one reference set"
+    )
+    _add_common_options(search)
+    search.add_argument(
+        "--reference",
+        type=int,
+        required=True,
+        help="index of the reference set within the input",
+    )
+    search.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        help="return only the k most related sets (iterative deepening)",
+    )
+    search.set_defaults(func=cmd_search)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="trace the pipeline's decisions for one (reference, candidate) pair",
+    )
+    _add_common_options(explain_cmd)
+    explain_cmd.add_argument(
+        "--reference", type=int, required=True, help="reference set index"
+    )
+    explain_cmd.add_argument(
+        "--candidate", type=int, required=True, help="candidate set index"
+    )
+    explain_cmd.set_defaults(func=cmd_explain)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="verify exactness against brute force on (a sample of) the input",
+    )
+    _add_common_options(selfcheck)
+    selfcheck.add_argument(
+        "--sample",
+        type=int,
+        default=20,
+        help="how many reference sets to verify (default 20; 0 = all)",
+    )
+    selfcheck.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (default 0)"
+    )
+    selfcheck.set_defaults(func=cmd_selfcheck)
+
+    stats = sub.add_parser("stats", help="profile the input dataset")
+    stats.add_argument("input", help="input data file")
+    stats.add_argument("--format", choices=FORMATS, default="text")
+    stats.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

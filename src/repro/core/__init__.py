@@ -1,0 +1,23 @@
+"""Core engine: data model, configuration, and the SilkMoth pipeline.
+
+This package wires the substrates together into the search pass of
+Figure 1: tokenise, index, generate signatures, select candidates,
+refine, verify.
+"""
+
+from repro.core.records import ElementRecord, SetCollection, SetRecord
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import DiscoveryResult, SearchResult, SilkMoth
+from repro.core.stats import PassStats
+
+__all__ = [
+    "DiscoveryResult",
+    "ElementRecord",
+    "PassStats",
+    "Relatedness",
+    "SearchResult",
+    "SetCollection",
+    "SetRecord",
+    "SilkMoth",
+    "SilkMothConfig",
+]

@@ -1,0 +1,116 @@
+"""Group related sets into clusters (the dedup view of discovery output).
+
+Discovery emits pairwise relations; applications like record dedup
+(the intro's copying-relationship use case) usually want *groups*:
+"these five columns all describe the same thing".  This module folds
+the pair list into connected components with a union-find structure.
+
+Relatedness is not transitive, so a component may contain pairs whose
+direct relatedness is below delta -- that is inherent to clustering by
+connected components and is the standard semantics for dedup groups
+(single-linkage).  Callers needing cliques should post-filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.engine import DiscoveryResult
+
+
+class UnionFind:
+    """Disjoint sets over ``0..n-1`` with union by size + path halving."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Representative of x's set."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def groups(self) -> list[list[int]]:
+        """All disjoint sets, each sorted, ordered by smallest member."""
+        by_root: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return sorted(by_root.values(), key=lambda group: group[0])
+
+
+def cluster_related_sets(
+    pairs: Iterable[DiscoveryResult] | Iterable[tuple[int, int]],
+    n_sets: int,
+    include_singletons: bool = False,
+) -> list[list[int]]:
+    """Connected components of the relatedness graph.
+
+    Parameters
+    ----------
+    pairs:
+        Discovery output (or plain (reference_id, set_id) tuples).
+    n_sets:
+        Total number of sets in the collection (ids are 0..n_sets-1).
+    include_singletons:
+        When False (default), sets related to nothing are omitted.
+
+    Returns
+    -------
+    Clusters as sorted id lists, ordered by their smallest member.
+    """
+    uf = UnionFind(n_sets)
+    for pair in pairs:
+        if isinstance(pair, DiscoveryResult):
+            a, b = pair.reference_id, pair.set_id
+        else:
+            a, b = pair
+        if not (0 <= a < n_sets and 0 <= b < n_sets):
+            raise ValueError(
+                f"pair ({a}, {b}) out of range for n_sets={n_sets}"
+            )
+        uf.union(a, b)
+    groups = uf.groups()
+    if include_singletons:
+        return groups
+    return [group for group in groups if len(group) > 1]
+
+
+def representatives(
+    clusters: Sequence[Sequence[int]],
+    sizes: Sequence[int] | None = None,
+) -> list[int]:
+    """One id per cluster: the largest member set, ties to smallest id.
+
+    With ``sizes=None`` the smallest id is chosen.  Typical dedup usage
+    keeps the representative and drops the rest of each cluster.
+    """
+    chosen = []
+    for cluster in clusters:
+        if not cluster:
+            raise ValueError("clusters must be non-empty")
+        if sizes is None:
+            chosen.append(min(cluster))
+        else:
+            chosen.append(
+                max(cluster, key=lambda set_id: (sizes[set_id], -set_id))
+            )
+    return chosen

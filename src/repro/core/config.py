@@ -1,0 +1,92 @@
+"""Engine configuration: metrics, thresholds, and optimisation toggles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.tokenize.tokenizers import max_q_for_alpha
+
+
+class Relatedness(enum.Enum):
+    """The two set relatedness metrics of Section 2.1."""
+
+    SIMILARITY = "similarity"
+    CONTAINMENT = "containment"
+
+
+@dataclass(frozen=True)
+class SilkMothConfig:
+    """Everything a SilkMoth run needs besides the data.
+
+    Attributes
+    ----------
+    metric:
+        SET-SIMILARITY or SET-CONTAINMENT.
+    similarity:
+        Element similarity function kind.
+    delta:
+        Relatedness threshold in (0, 1].
+    alpha:
+        Element similarity threshold in [0, 1].
+    q:
+        Gram length for edit similarity.  ``None`` picks the maximum q
+        allowed by ``alpha`` (the evaluation's rule, Section 8.1).
+    scheme:
+        Signature scheme registry name (see :mod:`repro.signatures`).
+    check_filter / nn_filter:
+        Refinement toggles (Section 5.1 / 5.2).
+    reduction:
+        Use reduction-based verification where sound (Section 5.3;
+        requires ``alpha == 0``).
+    size_filter:
+        Apply the candidate cardinality gate (Section 5, footnote 6:
+        SET-SIMILARITY compares only similar-size sets; containment
+        needs ``|S| >= delta |R|``).  Toggleable for ablation only --
+        the gate is always sound.
+    """
+
+    metric: Relatedness = Relatedness.SIMILARITY
+    similarity: SimilarityKind = SimilarityKind.JACCARD
+    delta: float = 0.7
+    alpha: float = 0.0
+    q: int | None = None
+    scheme: str = "dichotomy"
+    check_filter: bool = True
+    nn_filter: bool = True
+    reduction: bool = True
+    size_filter: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta <= 1.0:
+            raise ValueError(f"delta must be in (0, 1], got {self.delta}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.q is not None and self.q < 1:
+            raise ValueError(f"q must be >= 1, got {self.q}")
+
+    @property
+    def phi(self) -> SimilarityFunction:
+        """The alpha-thresholded element similarity function."""
+        return SimilarityFunction(kind=self.similarity, alpha=self.alpha)
+
+    @property
+    def effective_q(self) -> int:
+        """The gram length actually used (1 for Jaccard)."""
+        if self.similarity.is_token_based:
+            return 1
+        if self.q is not None:
+            return self.q
+        return max(1, max_q_for_alpha(self.alpha))
+
+    def with_no_optimizations(self) -> "SilkMothConfig":
+        """The NOOPT configuration of Figure 4: prefix-style signatures,
+        no refinement, no reduction."""
+        return replace(
+            self,
+            scheme="comb_unweighted",
+            check_filter=False,
+            nn_filter=False,
+            reduction=False,
+        )

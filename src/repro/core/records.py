@@ -1,0 +1,143 @@
+"""Data model: elements, sets, and collections of sets.
+
+A :class:`SetRecord` is the unit of relatedness search -- a column, a
+schema, a tokenised string, depending on the application.  Each of its
+:class:`ElementRecord` members carries both the original text (needed by
+edit-similarity verification) and two tokenised views:
+
+* ``index_tokens`` -- the tokens used for the inverted index and nearest
+  neighbour search (words, or q-grams),
+* ``signature_tokens`` -- the tokens signatures may select (words, or
+  q-chunks; a subset of the q-gram space).
+
+A :class:`SetCollection` owns a shared :class:`Vocabulary` and a
+:class:`Tokenizer` so that a reference collection R and a searched
+collection S can be tokenised consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.sim.functions import SimilarityKind
+from repro.tokenize.tokenizers import Tokenizer
+from repro.tokenize.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class ElementRecord:
+    """One element of a set, with its tokenised views.
+
+    Attributes
+    ----------
+    text:
+        Original element string.
+    index_tokens:
+        Distinct token ids for index/NN purposes.
+    signature_tokens:
+        Distinct token ids signatures may select from.  Equal to
+        ``index_tokens`` for Jaccard; the q-chunk subset for edit kinds.
+    length:
+        The element "size" the paper's formulas use: number of word
+        tokens under Jaccard, string length under edit similarity.
+    """
+
+    text: str
+    index_tokens: frozenset[int]
+    signature_tokens: frozenset[int]
+    length: int
+
+    def __len__(self) -> int:
+        return self.length
+
+
+@dataclass(frozen=True)
+class SetRecord:
+    """A set of elements, identified by its position in the collection."""
+
+    set_id: int
+    elements: tuple[ElementRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[ElementRecord]:
+        return iter(self.elements)
+
+    @property
+    def token_universe(self) -> frozenset[int]:
+        """All distinct signature-token ids in the set (the paper's R^T)."""
+        universe: set[int] = set()
+        for element in self.elements:
+            universe |= element.signature_tokens
+        return frozenset(universe)
+
+
+class SetCollection(Sequence):
+    """An ordered collection of :class:`SetRecord` sharing one vocabulary."""
+
+    def __init__(self, tokenizer: Tokenizer, vocabulary: Vocabulary | None = None):
+        self.tokenizer = tokenizer
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self._sets: list[SetRecord] = []
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls,
+        sets: Iterable[Sequence[str]],
+        kind: SimilarityKind = SimilarityKind.JACCARD,
+        q: int = 1,
+        vocabulary: Vocabulary | None = None,
+    ) -> "SetCollection":
+        """Build a collection from raw data: one sequence of element strings per set."""
+        collection = cls(Tokenizer(kind=kind, q=q), vocabulary)
+        for elements in sets:
+            collection.add_set(elements)
+        return collection
+
+    def add_set(self, elements: Sequence[str]) -> SetRecord:
+        """Tokenise *elements* and append them as a new set."""
+        record = SetRecord(
+            set_id=len(self._sets),
+            elements=tuple(self.make_element(text) for text in elements),
+        )
+        self._sets.append(record)
+        return record
+
+    def make_element(self, text: str) -> ElementRecord:
+        """Tokenise a single element string against this collection's vocabulary."""
+        index_tokens = self.vocabulary.intern_all(self.tokenizer.index_tokens(text))
+        if self.tokenizer.kind.is_token_based:
+            signature_tokens = index_tokens
+            length = len(set(index_tokens))
+        else:
+            signature_tokens = self.vocabulary.intern_all(
+                self.tokenizer.signature_tokens(text)
+            )
+            length = len(text)
+        return ElementRecord(
+            text=text,
+            index_tokens=frozenset(index_tokens),
+            signature_tokens=frozenset(signature_tokens),
+            length=length,
+        )
+
+    def sibling(self) -> "SetCollection":
+        """An empty collection sharing this one's tokenizer and vocabulary.
+
+        Use this to tokenise a reference collection R consistently with a
+        searched collection S.
+        """
+        return SetCollection(self.tokenizer, self.vocabulary)
+
+    # -- Sequence protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, index):
+        return self._sets[index]
+
+    def __iter__(self) -> Iterator[SetRecord]:
+        return iter(self._sets)

@@ -1,0 +1,51 @@
+"""Per-pass and aggregate pipeline statistics.
+
+The evaluation reasons about candidate counts at each pipeline stage
+(signature probe, check filter, NN filter, verification), so the engine
+records them for every search pass and aggregates across a discovery
+run.  Benchmarks print these alongside wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassStats:
+    """Funnel counters for one search pass (one reference set)."""
+
+    signature_tokens: int = 0
+    full_scan: bool = False
+    initial_candidates: int = 0
+    after_check: int = 0
+    after_nn: int = 0
+    verified: int = 0
+    matches: int = 0
+
+
+@dataclass
+class RunStats:
+    """Aggregated funnel counters across search passes."""
+
+    passes: int = 0
+    signature_tokens: int = 0
+    full_scans: int = 0
+    initial_candidates: int = 0
+    after_check: int = 0
+    after_nn: int = 0
+    verified: int = 0
+    matches: int = 0
+    per_pass: list = field(default_factory=list, repr=False)
+
+    def add(self, stats: PassStats) -> None:
+        """Fold one pass into the aggregate."""
+        self.passes += 1
+        self.signature_tokens += stats.signature_tokens
+        self.full_scans += int(stats.full_scan)
+        self.initial_candidates += stats.initial_candidates
+        self.after_check += stats.after_check
+        self.after_nn += stats.after_nn
+        self.verified += stats.verified
+        self.matches += stats.matches
+        self.per_pass.append(stats)

@@ -1,0 +1,39 @@
+"""Synthetic corpora standing in for the paper's DBLP and WEBTABLE data.
+
+The paper evaluates on 100K DBLP publication titles and 500K web
+tables; neither is available offline, so we generate deterministic
+synthetic equivalents whose statistics mirror Table 3 (elements per
+set, tokens per element) and whose dirtiness (typos, token edits,
+near-duplicate clusters, overlapping column domains) exercises exactly
+the code paths the real data would: skewed token frequencies for the
+signature heuristics, approximate duplicates for non-trivial matchings,
+and containment relationships for the inclusion-dependency workload.
+"""
+
+from repro.datasets.text import (
+    ZipfVocabulary,
+    corrupt_string,
+    corrupt_tokens,
+)
+from repro.datasets.dblp import dblp_like_titles
+from repro.datasets.addresses import (
+    address_column,
+    address_database,
+    dirty_variant,
+)
+from repro.datasets.webtable import (
+    webtable_like_columns,
+    webtable_like_schemas,
+)
+
+__all__ = [
+    "ZipfVocabulary",
+    "address_column",
+    "address_database",
+    "dirty_variant",
+    "corrupt_string",
+    "corrupt_tokens",
+    "dblp_like_titles",
+    "webtable_like_columns",
+    "webtable_like_schemas",
+]

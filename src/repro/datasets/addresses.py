@@ -1,0 +1,155 @@
+"""Dirty address data in the style of the paper's motivating Table 1.
+
+The introduction motivates set relatedness with two columns of postal
+addresses that refer to the same places but never match exactly:
+abbreviations ("Mass Ave" vs "Massachusetts Avenue"), moved zip codes,
+reordered fields, typos.  This generator synthesises such column pairs
+so the examples and tests can exercise the Table 1 scenario end to end:
+
+* :func:`address_column` -- one column of clean addresses.
+* :func:`dirty_variant` -- a second column referring to (mostly) the
+  same places, with configurable abbreviation/typo/reorder noise and a
+  configurable fraction of extra, unrelated rows.
+* :func:`address_database` -- a dict of named columns simulating a
+  small data lake with some joinable column pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.text import corrupt_string
+
+#: Street-name stems; combined with types and cities below.
+_STREET_NAMES = (
+    "Massachusetts", "Vassar", "Main", "Fifth", "Broadway", "Highland",
+    "Washington", "Beacon", "Cambridge", "Harvard", "Putnam", "Windsor",
+    "Albany", "Pearl", "Franklin", "Sidney", "Landsdowne", "Erie",
+)
+
+#: (full form, abbreviation) pairs for street types.
+_STREET_TYPES = (
+    ("Street", "St"),
+    ("Avenue", "Ave"),
+    ("Road", "Rd"),
+    ("Boulevard", "Blvd"),
+    ("Square", "Sq"),
+    ("Place", "Pl"),
+)
+
+#: (city, state, zip prefix) triples.
+_CITIES = (
+    ("Boston", "MA", "021"),
+    ("Cambridge", "MA", "021"),
+    ("Seattle", "WA", "981"),
+    ("Chicago", "IL", "606"),
+    ("Austin", "TX", "787"),
+    ("Portland", "OR", "972"),
+)
+
+#: Written-out forms of small house numbers / ordinals.
+_NUMBER_WORDS = {
+    "1": "One", "2": "Two", "3": "Three", "4": "Four", "5": "Five",
+}
+_ORDINAL_WORDS = {"Fifth": "5th", "5th": "Fifth"}
+
+
+def _one_address(rng: random.Random) -> str:
+    number = rng.randint(1, 999)
+    name = rng.choice(_STREET_NAMES)
+    street_type = rng.choice(_STREET_TYPES)[0]
+    city, state, zip_prefix = rng.choice(_CITIES)
+    zip_code = f"{zip_prefix}{rng.randint(10, 99)}"
+    return f"{number} {name} {street_type} {city} {state} {zip_code}"
+
+
+def address_column(n_rows: int, seed: int = 0) -> list[str]:
+    """A clean column of *n_rows* synthetic street addresses."""
+    rng = random.Random(seed)
+    return [_one_address(rng) for _ in range(n_rows)]
+
+
+def _abbreviate(word: str, rng: random.Random) -> str:
+    """Swap a word with its (de)abbreviated form when one exists."""
+    for full, abbrev in _STREET_TYPES:
+        if word == full:
+            return abbrev
+        if word == abbrev:
+            return full
+    if word in _NUMBER_WORDS:
+        return _NUMBER_WORDS[word]
+    if word in _ORDINAL_WORDS:
+        return _ORDINAL_WORDS[word]
+    return word
+
+
+def dirty_variant(
+    addresses: list[str],
+    seed: int = 1,
+    abbreviate_prob: float = 0.5,
+    typo_prob: float = 0.15,
+    move_zip_prob: float = 0.2,
+    unrelated_fraction: float = 0.2,
+) -> list[str]:
+    """A second column referring to the same places, dirtied.
+
+    Per row: street-type words are (de)abbreviated with
+    ``abbreviate_prob``, each word independently gets a one-character
+    typo with ``typo_prob``, and the zip code is moved to a random
+    position with ``move_zip_prob``.  ``unrelated_fraction`` of extra
+    rows referencing new places is appended (one column approximately
+    contains the other, the SET-CONTAINMENT scenario).
+    """
+    rng = random.Random(seed)
+    dirty: list[str] = []
+    for address in addresses:
+        words = address.split()
+        out: list[str] = []
+        for word in words:
+            if rng.random() < abbreviate_prob:
+                word = _abbreviate(word, rng)
+            if rng.random() < typo_prob and len(word) > 2:
+                word = corrupt_string(word, rng, edits=1)
+            out.append(word)
+        if out and rng.random() < move_zip_prob:
+            # Move the trailing zip somewhere else in the row.
+            zip_code = out.pop()
+            out.insert(rng.randrange(len(out) + 1), zip_code)
+        dirty.append(" ".join(out))
+    extra = int(len(addresses) * unrelated_fraction)
+    for _ in range(extra):
+        dirty.append(_one_address(rng))
+    rng.shuffle(dirty)
+    return dirty
+
+
+def address_database(
+    n_columns: int = 8,
+    rows_per_column: int = 30,
+    joinable_pairs: int = 3,
+    seed: int = 11,
+) -> dict[str, list[str]]:
+    """A named-column "database" with planted joinable pairs.
+
+    The first ``2 * joinable_pairs`` columns come in (clean, dirty)
+    pairs -- ``addr_0`` joins ``addr_0_dirty`` and so on.  The rest are
+    independent columns that should not join anything.
+    """
+    if joinable_pairs * 2 > n_columns:
+        raise ValueError(
+            f"need at least {joinable_pairs * 2} columns for "
+            f"{joinable_pairs} joinable pairs, got {n_columns}"
+        )
+    rng = random.Random(seed)
+    database: dict[str, list[str]] = {}
+    for pair in range(joinable_pairs):
+        clean = address_column(rows_per_column, seed=rng.randrange(1 << 30))
+        database[f"addr_{pair}"] = clean
+        database[f"addr_{pair}_dirty"] = dirty_variant(
+            clean, seed=rng.randrange(1 << 30)
+        )
+    for extra in range(n_columns - 2 * joinable_pairs):
+        database[f"other_{extra}"] = address_column(
+            rows_per_column, seed=rng.randrange(1 << 30)
+        )
+    return database

@@ -1,0 +1,141 @@
+"""WEBTABLE-like synthetic tables for the schema matching and inclusion
+dependency workloads.
+
+Schema matching (Section 8.1): each web-table *schema* is a set, each
+attribute (column) is an element, and the attribute's values are its
+tokens.  Table 3 reports ~3 elements per set and ~11 tokens per element.
+We generate a pool of column "domains" (categories with overlapping
+value vocabularies) and emit schemas drawing columns from related
+domains, plus dirty copies so relatable schemas exist.
+
+Inclusion dependency (Section 8.1): each *column* is a set, each value
+is an element, and whitespace words of the value are tokens.  Table 3
+reports ~22 elements per set, ~2.2 tokens per element.  We generate base
+columns and dirty approximate-subset columns, so some reference columns
+are (approximately) contained in others.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.text import ZipfVocabulary, corrupt_tokens
+
+
+def _domain_pool(
+    rng: random.Random,
+    vocabulary: ZipfVocabulary,
+    n_domains: int,
+    values_per_domain: int,
+    words_per_value: int,
+) -> list[list[str]]:
+    """Pools of multi-word values; each domain is a themed value list."""
+    domains: list[list[str]] = []
+    for _ in range(n_domains):
+        values = [
+            " ".join(vocabulary.sample_many(rng, words_per_value))
+            for _ in range(values_per_domain)
+        ]
+        domains.append(values)
+    return domains
+
+
+def webtable_like_schemas(
+    n_sets: int,
+    seed: int = 23,
+    columns_per_schema: int = 3,
+    values_per_column: int = 11,
+    duplicate_fraction: float = 0.25,
+    n_domains: int = 40,
+    vocabulary: ZipfVocabulary | None = None,
+) -> list[list[str]]:
+    """Schemas for schema matching: each element string is one column,
+    rendered as its whitespace-joined values (tokens = values' words are
+    NOT split further; each value is a single token by replacing inner
+    spaces, mirroring 'an attribute value corresponding to a token')."""
+    if n_sets <= 0:
+        return []
+    rng = random.Random(seed)
+    vocab = vocabulary if vocabulary is not None else ZipfVocabulary(seed=seed + 1)
+    domains = _domain_pool(rng, vocab, n_domains, values_per_column * 6, 1)
+
+    def render_column(values: list[str]) -> str:
+        # One token per attribute value: values are single words here.
+        return " ".join(values)
+
+    def fresh_schema() -> list[str]:
+        columns = []
+        for _ in range(columns_per_schema):
+            domain = rng.choice(domains)
+            values = rng.sample(domain, min(values_per_column, len(domain)))
+            columns.append(render_column(values))
+        return columns
+
+    schemas: list[list[str]] = []
+    target_clustered = int(n_sets * duplicate_fraction)
+    while len(schemas) < target_clustered:
+        base = fresh_schema()
+        schemas.append(base)
+        if len(schemas) >= target_clustered:
+            break
+        # A dirty near-duplicate: each column keeps most of its values.
+        dirty = []
+        for column in base:
+            tokens = column.split()
+            dirty.append(
+                " ".join(corrupt_tokens(tokens, rng, vocab, 0.12, 0.08, 0.08))
+            )
+        schemas.append(dirty)
+
+    while len(schemas) < n_sets:
+        schemas.append(fresh_schema())
+
+    rng.shuffle(schemas)
+    return schemas[:n_sets]
+
+
+def webtable_like_columns(
+    n_sets: int,
+    seed: int = 29,
+    values_per_column: int = 22,
+    words_per_value: int = 2,
+    containment_fraction: float = 0.25,
+    n_domains: int = 30,
+    vocabulary: ZipfVocabulary | None = None,
+) -> list[list[str]]:
+    """Columns for inclusion dependency: each element string is one value."""
+    if n_sets <= 0:
+        return []
+    rng = random.Random(seed)
+    vocab = vocabulary if vocabulary is not None else ZipfVocabulary(seed=seed + 1)
+    domains = _domain_pool(
+        rng, vocab, n_domains, values_per_column * 8, words_per_value
+    )
+
+    def fresh_column(size: int) -> list[str]:
+        domain = rng.choice(domains)
+        return rng.sample(domain, min(size, len(domain)))
+
+    columns: list[list[str]] = []
+    target_contained = int(n_sets * containment_fraction)
+    while len(columns) < target_contained:
+        superset = fresh_column(values_per_column + values_per_column // 2)
+        columns.append(superset)
+        if len(columns) >= target_contained:
+            break
+        # A dirty approximate subset of the superset column.
+        subset_size = max(4, values_per_column // 2)
+        subset = rng.sample(superset, min(subset_size, len(superset)))
+        dirty_subset = [
+            " ".join(corrupt_tokens(value.split(), rng, vocab, 0.1, 0.05, 0.05))
+            if rng.random() < 0.3
+            else value
+            for value in subset
+        ]
+        columns.append(dirty_subset)
+
+    while len(columns) < n_sets:
+        columns.append(fresh_column(values_per_column))
+
+    rng.shuffle(columns)
+    return columns[:n_sets]

@@ -1,0 +1,136 @@
+"""Candidate selection and the check filter (paper Section 5.1, Algorithm 1).
+
+Candidate selection probes the inverted index with every signature
+token.  The check filter piggybacks on that probe: for each candidate
+element that shares a signature token with reference element ``r_i``,
+compute the actual ``phi_alpha`` and remember it only when it exceeds
+the element's signature bound ``u_i``.  A candidate whose best witnessed
+similarities never beat the bounds is capped by ``sum(u_i)``, so it can
+be dropped whenever that residual is below theta.
+
+The per-candidate witnessed maxima are *exact* nearest-neighbour
+similarities (computation reuse, Section 5.2): any candidate element
+sharing no signature token with ``r_i`` is bounded by ``u_i`` anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import SetCollection, SetRecord
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import Signature
+
+
+@dataclass
+class CandidateInfo:
+    """What the check filter learned about one candidate set.
+
+    ``best`` maps reference-element index i to the exact nearest
+    neighbour similarity of r_i within the candidate, recorded only when
+    it exceeds the signature bound ``u_i``.
+    """
+
+    set_id: int
+    best: dict[int, float] = field(default_factory=dict)
+
+    def estimate(self, bounds: tuple[float, ...]) -> float:
+        """Upper bound on the matching score given the signature bounds."""
+        total = sum(bounds)
+        for i, score in self.best.items():
+            total += score - bounds[i]
+        return total
+
+
+def _phi_elements(
+    phi: SimilarityFunction,
+    reference: SetRecord,
+    candidate: SetRecord,
+    i: int,
+    j: int,
+    floor: float,
+) -> float:
+    """phi_alpha between reference element i and candidate element j.
+
+    *floor* lets edit-based comparisons bail out early when the score
+    cannot matter (it is only used as a band for the Levenshtein DP).
+    """
+    r = reference.elements[i]
+    s = candidate.elements[j]
+    if phi.kind.is_token_based:
+        return phi.tokens(r.index_tokens, s.index_tokens)
+    return phi.edit_at_least(r.text, s.text, floor)
+
+
+def select_and_check(
+    reference: SetRecord,
+    signature: Signature,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    theta: float,
+    collection: SetCollection,
+    apply_check: bool = True,
+    size_range: tuple[float, float] | None = None,
+    skip_set: int | None = None,
+) -> list[CandidateInfo]:
+    """Algorithm 1: probe the index with the signature and check-filter.
+
+    Parameters
+    ----------
+    size_range:
+        Optional (min, max) bounds on candidate cardinality (the size
+        check of Section 5, footnote 6, and the containment gate).
+    skip_set:
+        Set id to exclude (self-matches in discovery mode).
+    apply_check:
+        When False, candidates are only gathered (used by baselines and
+        the NOFILTER configurations of Figure 6); the returned infos
+        still carry witnessed similarities for downstream reuse.
+
+    Returns
+    -------
+    Candidate infos for every set that survived; ordering follows set id.
+    """
+    bounds = signature.element_bounds
+    candidates: dict[int, CandidateInfo] = {}
+    # (set_id, element_index) pairs already compared per reference element,
+    # so duplicated postings across tokens are not recomputed.
+    seen: dict[int, set[tuple[int, int]]] = {}
+
+    for i, tokens in enumerate(signature.per_element):
+        if not tokens:
+            continue
+        bound_i = bounds[i]
+        seen_i = seen.setdefault(i, set())
+        for token in tokens:
+            for set_id, element_index in index.postings(token):
+                if set_id == skip_set:
+                    continue
+                key = (set_id, element_index)
+                if key in seen_i:
+                    continue
+                seen_i.add(key)
+                candidate_record = collection[set_id]
+                if size_range is not None:
+                    size = len(candidate_record)
+                    if size < size_range[0] or size > size_range[1]:
+                        continue
+                info = candidates.get(set_id)
+                if info is None:
+                    info = CandidateInfo(set_id)
+                    candidates[set_id] = info
+                score = _phi_elements(
+                    phi, reference, candidate_record, i, element_index, bound_i
+                )
+                if score > bound_i and score > info.best.get(i, 0.0):
+                    info.best[i] = score
+
+    infos = [candidates[set_id] for set_id in sorted(candidates)]
+    if not apply_check:
+        return infos
+
+    # Prune candidates whose estimate cannot reach theta.  The estimate
+    # is sound for every scheme because each u_i individually bounds the
+    # contribution of r_i.
+    return [info for info in infos if info.estimate(bounds) >= theta]

@@ -1,0 +1,130 @@
+"""The nearest-neighbour filter (paper Section 5.2, Algorithm 2).
+
+The matching score is at most ``sum_i max_s phi_alpha(r_i, s)``.  The
+filter starts from the signature bounds, substitutes the exact values
+witnessed by the check filter (computation reuse), and then refines the
+remaining elements one by one with an index-backed NN search, early
+terminating as soon as the estimate drops below theta.
+
+For edit similarity the index-backed search only retrieves elements
+sharing a q-gram with the probe.  Two strings can have non-zero edit
+similarity without sharing any q-gram, so the search result is combined
+with the no-shared-gram cap ``|r| / (|r| + ceil(|r|/q))`` from Section
+7.1; under the evaluation's ``q < alpha/(1-alpha)`` constraint that cap
+is below alpha and vanishes after thresholding.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.records import ElementRecord, SetCollection, SetRecord
+from repro.filters.check import CandidateInfo
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+
+
+def _no_share_cap(element: ElementRecord, phi: SimilarityFunction, q: int) -> float:
+    """Upper bound on phi_alpha(element, s) when s shares no index token."""
+    if phi.kind.is_token_based:
+        return 0.0
+    length = element.length
+    if length == 0:
+        return 1.0
+    chunks = math.ceil(length / q)
+    return phi.threshold(length / (length + chunks))
+
+
+def nn_search(
+    element: ElementRecord,
+    set_id: int,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    collection: SetCollection,
+    floor: float = 0.0,
+) -> float:
+    """Exact NN similarity of *element* within set *set_id* via the index.
+
+    Only elements sharing at least one index token are examined
+    (Section 5.2); the caller is responsible for combining the result
+    with the no-share cap where that matters.
+    """
+    best = floor
+    seen: set[int] = set()
+    candidate_record = collection[set_id]
+    if phi.kind.is_token_based:
+        for token in element.index_tokens:
+            for j in index.elements_in_set(token, set_id):
+                if j in seen:
+                    continue
+                seen.add(j)
+                score = phi.tokens(
+                    element.index_tokens, candidate_record.elements[j].index_tokens
+                )
+                if score > best:
+                    best = score
+    else:
+        for token in element.index_tokens:
+            for j in index.elements_in_set(token, set_id):
+                if j in seen:
+                    continue
+                seen.add(j)
+                score = phi.edit_at_least(
+                    element.text, candidate_record.elements[j].text, best
+                )
+                if score > best:
+                    best = score
+    return best
+
+
+def nearest_neighbor_filter(
+    reference: SetRecord,
+    candidates: list[CandidateInfo],
+    bounds: tuple[float, ...],
+    theta: float,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    collection: SetCollection,
+    q: int = 1,
+) -> list[CandidateInfo]:
+    """Algorithm 2: prune candidates by the NN upper bound.
+
+    *bounds* are the signature's per-element bounds; *q* is the gram
+    length (ignored for Jaccard).
+    """
+    caps = [_no_share_cap(element, phi, q) for element in reference.elements]
+    survivors: list[CandidateInfo] = []
+    for info in candidates:
+        # Start from the check filter's estimate: witnessed exact NN
+        # values where they beat the bound, signature bounds elsewhere.
+        total = 0.0
+        pending: list[int] = []
+        for i, bound_i in enumerate(bounds):
+            witnessed = info.best.get(i)
+            if witnessed is not None:
+                total += witnessed
+            else:
+                effective = max(bound_i, caps[i])
+                total += effective
+                if effective > 0.0:
+                    pending.append(i)
+        if total < theta:
+            continue
+        # Refine the estimated elements with exact NN searches, worst
+        # bound first so the estimate falls fastest; stop early when the
+        # candidate is pruned.
+        pending.sort(key=lambda i: -max(bounds[i], caps[i]))
+        pruned = False
+        for i in pending:
+            nn = nn_search(
+                reference.elements[i], info.set_id, index, phi, collection
+            )
+            nn = max(nn, caps[i])
+            total += nn - max(bounds[i], caps[i])
+            info.best[i] = nn
+            if total < theta:
+                pruned = True
+                break
+        if not pruned:
+            survivors.append(info)
+    return survivors

@@ -1,0 +1,5 @@
+"""Inverted index over (set, element) pairs (paper Section 3)."""
+
+from repro.index.inverted import InvertedIndex, Posting
+
+__all__ = ["InvertedIndex", "Posting"]

@@ -1,0 +1,82 @@
+"""The inverted index ``I``.
+
+For each token id ``t``, ``I[t]`` is the list of (set_id, element_index)
+postings whose element contains ``t`` (by *index* tokens).  Postings are
+stored sorted by set_id so candidate selection can deduplicate cheaply
+and the nearest-neighbour filter can binary-search the slice belonging
+to one candidate set (paper Section 5.2, footnote 7).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, NamedTuple
+
+from repro.core.records import SetCollection
+
+
+class Posting(NamedTuple):
+    """One occurrence of a token: which set, which element within it."""
+
+    set_id: int
+    element_index: int
+
+
+class InvertedIndex:
+    """Token id -> sorted postings, over a :class:`SetCollection`."""
+
+    def __init__(self, collection: SetCollection):
+        self.collection = collection
+        self._lists: dict[int, list[Posting]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for record in self.collection:
+            self.add_record(record)
+        # Sets were ingested in set_id order and elements in index order,
+        # so every list is already sorted; assert-level sort kept cheap.
+
+    def add_record(self, record) -> None:
+        """Index one more set record (incremental update).
+
+        Postings stay sorted because records are only ever appended to
+        the collection, so the new set_id is the largest seen.
+        """
+        lists = self._lists
+        for element_index, element in enumerate(record.elements):
+            for token in element.index_tokens:
+                lists.setdefault(token, []).append(
+                    Posting(record.set_id, element_index)
+                )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._lists
+
+    def postings(self, token: int) -> list[Posting]:
+        """All postings for *token* (empty list if the token is unindexed)."""
+        return self._lists.get(token, [])
+
+    def list_length(self, token: int) -> int:
+        """``|I[t]|`` -- the cost of a token in signature selection."""
+        postings = self._lists.get(token)
+        return len(postings) if postings else 0
+
+    def elements_in_set(self, token: int, set_id: int) -> Iterable[int]:
+        """Element indices of *set_id* whose element contains *token*.
+
+        Binary-searches the sorted posting list, per Section 5.2.
+        """
+        postings = self._lists.get(token)
+        if not postings:
+            return ()
+        lo = bisect_left(postings, (set_id,))
+        hi = bisect_right(postings, (set_id, len(self.collection[set_id].elements)))
+        return tuple(postings[i].element_index for i in range(lo, hi))
+
+    def total_postings(self) -> int:
+        """Total number of postings (index size diagnostic)."""
+        return sum(len(postings) for postings in self._lists.values())

@@ -1,0 +1,42 @@
+"""File IO: dataset loaders and result writers/readers.
+
+See :mod:`repro.io.loaders` for the application-specific data-to-sets
+mappings and :mod:`repro.io.writers` for the result interchange format.
+"""
+
+from repro.io.loaders import (
+    load_csv_columns,
+    load_csv_schema,
+    load_jsonl_sets,
+    load_string_sets,
+    sets_from_iterable,
+)
+from repro.io.persistence import load_collection, save_collection
+from repro.io.writers import (
+    read_discovery_csv,
+    read_discovery_json,
+    read_search_csv,
+    read_search_json,
+    write_discovery_csv,
+    write_discovery_json,
+    write_search_csv,
+    write_search_json,
+)
+
+__all__ = [
+    "load_collection",
+    "load_csv_columns",
+    "load_csv_schema",
+    "load_jsonl_sets",
+    "load_string_sets",
+    "read_discovery_csv",
+    "read_discovery_json",
+    "read_search_csv",
+    "read_search_json",
+    "save_collection",
+    "sets_from_iterable",
+    "write_discovery_csv",
+    "write_discovery_json",
+    "write_search_csv",
+    "write_search_json",
+]

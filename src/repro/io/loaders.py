@@ -1,0 +1,170 @@
+"""Load raw data into the shapes SilkMoth's applications expect.
+
+The paper's three applications each map data to sets differently
+(Section 8.1):
+
+* *string matching*: every line of text is a set whose elements are its
+  whitespace words -- :func:`load_string_sets`.
+* *schema matching*: every table is a set whose elements are its
+  attributes (an attribute's text is its values) --
+  :func:`load_csv_schema`.
+* *inclusion dependency*: every table column is a set whose elements
+  are the cell values -- :func:`load_csv_columns`.
+
+:func:`load_jsonl_sets` covers the generic "bring your own sets" case:
+one JSON array of element strings per line.
+
+All loaders return plain ``list[list[str]]`` so callers can feed them to
+:meth:`repro.SetCollection.from_strings` with whichever similarity kind
+their task needs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def load_string_sets(path: str | Path, encoding: str = "utf-8") -> list[list[str]]:
+    """One set per non-blank line; elements are whitespace words.
+
+    This is the string-matching mapping: the publication title
+    "Database System Concepts" becomes the set
+    ``["Database", "System", "Concepts"]``.
+    """
+    sets: list[list[str]] = []
+    with open(path, encoding=encoding) as handle:
+        for line in handle:
+            words = line.split()
+            if words:
+                sets.append(words)
+    return sets
+
+
+def load_jsonl_sets(path: str | Path, encoding: str = "utf-8") -> list[list[str]]:
+    """One set per line; each line is a JSON array of element strings.
+
+    Raises
+    ------
+    ValueError
+        If a line is not a JSON array, or an element is not a string.
+    """
+    sets: list[list[str]] = []
+    with open(path, encoding=encoding) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+            if not isinstance(parsed, list):
+                raise ValueError(
+                    f"{path}:{line_no}: expected a JSON array, got "
+                    f"{type(parsed).__name__}"
+                )
+            elements = []
+            for item in parsed:
+                if not isinstance(item, str):
+                    raise ValueError(
+                        f"{path}:{line_no}: elements must be strings, got "
+                        f"{type(item).__name__}"
+                    )
+                elements.append(item)
+            sets.append(elements)
+    return sets
+
+
+def _read_csv(
+    path: str | Path, delimiter: str, encoding: str
+) -> tuple[list[str], list[list[str]]]:
+    """CSV header row plus data rows (all values as strings)."""
+    with open(path, newline="", encoding=encoding) as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def load_csv_columns(
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+    min_distinct: int = 0,
+    skip_numeric: bool = True,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> dict[str, list[str]]:
+    """Each CSV column becomes one set of cell-value elements.
+
+    This is the inclusion-dependency mapping.  Following Section 8.1,
+    ``min_distinct`` can exclude near-categorical columns (the paper
+    required more than 4 distinct values) and ``skip_numeric`` drops
+    columns whose every value parses as a number (the paper considered
+    only non-numerical columns).
+
+    Returns
+    -------
+    Mapping of column name to its (non-empty) cell values, in file
+    order.  Duplicated header names get ``#2``, ``#3``, ... suffixes.
+    """
+    header, rows = _read_csv(path, delimiter, encoding)
+    seen: dict[str, int] = {}
+    out: dict[str, list[str]] = {}
+    for idx, raw_name in enumerate(header):
+        count = seen.get(raw_name, 0) + 1
+        seen[raw_name] = count
+        name = raw_name if count == 1 else f"{raw_name}#{count}"
+        if columns is not None and raw_name not in columns and name not in columns:
+            continue
+        values = [row[idx].strip() for row in rows if idx < len(row)]
+        values = [value for value in values if value]
+        if not values:
+            continue
+        if skip_numeric and all(_is_number(value) for value in values):
+            continue
+        if len(set(values)) < min_distinct:
+            continue
+        out[name] = values
+    return out
+
+
+def load_csv_schema(
+    path: str | Path,
+    sample_rows: int | None = 20,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> list[str]:
+    """One set for the whole table: its elements are the attributes.
+
+    This is the schema-matching mapping: each attribute's element text
+    is its (sampled) values joined by spaces, so word tokens are the
+    attribute's values -- exactly the paper's "an attribute value
+    corresponding to a token".
+    """
+    header, rows = _read_csv(path, delimiter, encoding)
+    if sample_rows is not None:
+        rows = rows[:sample_rows]
+    elements = []
+    for idx, _name in enumerate(header):
+        values = [row[idx].strip() for row in rows if idx < len(row)]
+        values = [value for value in values if value]
+        if values:
+            elements.append(" ".join(values))
+    return elements
+
+
+def _is_number(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def sets_from_iterable(items: Iterable[Sequence[str]]) -> list[list[str]]:
+    """Normalise any iterable of string sequences to ``list[list[str]]``."""
+    return [list(item) for item in items]

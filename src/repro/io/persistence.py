@@ -1,0 +1,78 @@
+"""Save and load tokenised collections (dataset snapshots).
+
+A :class:`repro.SetCollection` is deterministic given the raw sets and
+tokenizer settings, so the snapshot stores exactly those: raw element
+strings plus (kind, q).  Loading re-tokenises, which keeps the format
+trivially stable across library versions (no interned ids or index
+structures on disk) while still being byte-reproducible.
+
+Format: a single JSON document::
+
+    {
+      "format": "silkmoth-collection",
+      "version": 1,
+      "similarity": "jaccard",
+      "q": 1,
+      "sets": [["element text", ...], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+
+#: Magic string identifying collection snapshots.
+FORMAT_NAME = "silkmoth-collection"
+#: Current snapshot schema version.
+FORMAT_VERSION = 1
+
+
+def save_collection(path: str | Path, collection: SetCollection) -> None:
+    """Write a collection snapshot (raw sets + tokenizer settings)."""
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "similarity": collection.tokenizer.kind.value,
+        "q": collection.tokenizer.q,
+        "sets": [
+            [element.text for element in record.elements]
+            for record in collection
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+
+
+def load_collection(path: str | Path) -> SetCollection:
+    """Read a snapshot written by :func:`save_collection`.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a collection snapshot or has an unsupported
+        version.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"{path}: not a {FORMAT_NAME} snapshot")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported snapshot version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        kind = SimilarityKind(payload["similarity"])
+        q = int(payload["q"])
+        sets = payload["sets"]
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"{path}: malformed snapshot: {exc}") from exc
+    if not isinstance(sets, list):
+        raise ValueError(f"{path}: 'sets' must be a list")
+    return SetCollection.from_strings(sets, kind=kind, q=q)

@@ -1,0 +1,159 @@
+"""Serialise search/discovery results to CSV and JSON (and read them back).
+
+Result files are the interchange format between the CLI, the benchmark
+harness, and downstream analysis; the readers exist so tests (and
+users) can round-trip without hand-parsing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.engine import DiscoveryResult, SearchResult
+
+#: Column order for discovery result files.
+DISCOVERY_FIELDS = ("reference_id", "set_id", "score", "relatedness")
+#: Column order for search result files.
+SEARCH_FIELDS = ("set_id", "score", "relatedness")
+
+
+def write_discovery_csv(
+    path: str | Path, results: Iterable[DiscoveryResult]
+) -> int:
+    """Write discovery pairs as CSV with a header row; returns row count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(DISCOVERY_FIELDS)
+        for result in results:
+            writer.writerow(
+                (
+                    result.reference_id,
+                    result.set_id,
+                    f"{result.score:.12g}",
+                    f"{result.relatedness:.12g}",
+                )
+            )
+            count += 1
+    return count
+
+
+def read_discovery_csv(path: str | Path) -> list[DiscoveryResult]:
+    """Read a file produced by :func:`write_discovery_csv`."""
+    results = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, DISCOVERY_FIELDS, path)
+        for row in reader:
+            results.append(
+                DiscoveryResult(
+                    reference_id=int(row["reference_id"]),
+                    set_id=int(row["set_id"]),
+                    score=float(row["score"]),
+                    relatedness=float(row["relatedness"]),
+                )
+            )
+    return results
+
+
+def write_search_csv(path: str | Path, results: Iterable[SearchResult]) -> int:
+    """Write search results as CSV with a header row; returns row count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SEARCH_FIELDS)
+        for result in results:
+            writer.writerow(
+                (result.set_id, f"{result.score:.12g}", f"{result.relatedness:.12g}")
+            )
+            count += 1
+    return count
+
+
+def read_search_csv(path: str | Path) -> list[SearchResult]:
+    """Read a file produced by :func:`write_search_csv`."""
+    results = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, SEARCH_FIELDS, path)
+        for row in reader:
+            results.append(
+                SearchResult(
+                    set_id=int(row["set_id"]),
+                    score=float(row["score"]),
+                    relatedness=float(row["relatedness"]),
+                )
+            )
+    return results
+
+
+def write_discovery_json(
+    path: str | Path, results: Iterable[DiscoveryResult]
+) -> int:
+    """Write discovery pairs as a JSON array of objects; returns count."""
+    payload = [
+        {
+            "reference_id": r.reference_id,
+            "set_id": r.set_id,
+            "score": r.score,
+            "relatedness": r.relatedness,
+        }
+        for r in results
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(payload)
+
+
+def read_discovery_json(path: str | Path) -> list[DiscoveryResult]:
+    """Read a file produced by :func:`write_discovery_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [
+        DiscoveryResult(
+            reference_id=int(item["reference_id"]),
+            set_id=int(item["set_id"]),
+            score=float(item["score"]),
+            relatedness=float(item["relatedness"]),
+        )
+        for item in payload
+    ]
+
+
+def write_search_json(path: str | Path, results: Iterable[SearchResult]) -> int:
+    """Write search results as a JSON array of objects; returns count."""
+    payload = [
+        {"set_id": r.set_id, "score": r.score, "relatedness": r.relatedness}
+        for r in results
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(payload)
+
+
+def read_search_json(path: str | Path) -> list[SearchResult]:
+    """Read a file produced by :func:`write_search_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [
+        SearchResult(
+            set_id=int(item["set_id"]),
+            score=float(item["score"]),
+            relatedness=float(item["relatedness"]),
+        )
+        for item in payload
+    ]
+
+
+def _require_fields(
+    fieldnames: Sequence[str] | None, expected: Sequence[str], path: str | Path
+) -> None:
+    if fieldnames is None or list(fieldnames) != list(expected):
+        raise ValueError(
+            f"{path}: expected header {list(expected)}, got {fieldnames}"
+        )

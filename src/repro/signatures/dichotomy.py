@@ -1,0 +1,91 @@
+"""The dichotomy signature scheme (paper Section 6.4).
+
+The skyline observation: whenever ``k_i`` grows past the sim-thresh
+budget, one may as well treat ``k_i = r_i`` -- the element's entire
+residual weight vanishes from the bound, freeing other elements to shed
+tokens.  The dichotomy greedy therefore adds tokens in cost/value order
+but *saturates* an element the moment its selected-token count reaches
+the budget: the element's remaining bound is zeroed and no further
+tokens are drawn from it.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import SetRecord
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import Signature, SignatureScheme
+from repro.signatures.weighted import WeightedScheme, rank_tokens
+from repro.signatures.weights import weights_for
+
+
+class DichotomyScheme(SignatureScheme):
+    """Cost/value greedy with whole-element saturation at the alpha budget."""
+
+    name = "dichotomy"
+
+    def generate(
+        self,
+        reference: SetRecord,
+        theta: float,
+        phi: SimilarityFunction,
+        index: InvertedIndex,
+    ) -> Signature | None:
+        if phi.alpha <= 0.0:
+            # Identical to the weighted scheme when no alpha budget exists.
+            base = WeightedScheme().generate(reference, theta, phi, index)
+            if base is None:
+                return None
+            return Signature(
+                tokens=base.tokens,
+                per_element=base.per_element,
+                element_bounds=base.element_bounds,
+                scheme=self.name,
+            )
+
+        weights = weights_for(reference, phi)
+        ranked, occurrences = rank_tokens(reference, index, weights)
+
+        n = len(reference)
+        selected_counts = [0] * n
+        saturated = [False] * n
+        per_element: list[set[int]] = [set() for _ in range(n)]
+        residual = sum(w.bound(0) for w in weights)
+
+        for token in ranked:
+            if residual < theta:
+                break
+            useful = False
+            for i in occurrences[token]:
+                if saturated[i]:
+                    continue
+                useful = True
+                residual -= weights[i].marginal(selected_counts[i])
+                selected_counts[i] += 1
+                per_element[i].add(token)
+                if weights[i].saturated(selected_counts[i]):
+                    # The rest of the element's weight disappears: any
+                    # element missing all budget tokens is below alpha.
+                    saturated[i] = True
+                    residual -= weights[i].bound(selected_counts[i])
+            if not useful:
+                continue
+
+        if residual >= theta:
+            return None
+
+        chosen: set[int] = set()
+        for tokens in per_element:
+            chosen |= tokens
+        bounds = tuple(
+            0.0
+            if saturated[i]
+            else weights[i].effective_bound(selected_counts[i], phi.alpha)
+            for i in range(n)
+        )
+        return Signature(
+            tokens=frozenset(chosen),
+            per_element=tuple(frozenset(s) for s in per_element),
+            element_bounds=bounds,
+            scheme=self.name,
+        )

@@ -1,0 +1,58 @@
+"""The sim-thresh signature scheme (paper Sections 6.1 and 7.2).
+
+With an element similarity threshold ``alpha > 0``, picking enough
+tokens from *each* element guarantees that any element sharing none of
+them falls below alpha and contributes nothing to the matching.  The
+scheme is alpha-valid only when every element meets its budget; when an
+element offers too few tokens (possible for edit similarity), no
+standalone sim-thresh signature exists and ``generate`` returns None.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import SetRecord
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import Signature, SignatureScheme
+from repro.signatures.weights import NO_BUDGET, weights_for
+
+
+class SimThreshScheme(SignatureScheme):
+    """Per-element token budgets derived from alpha alone."""
+
+    name = "sim_thresh"
+
+    def generate(
+        self,
+        reference: SetRecord,
+        theta: float,
+        phi: SimilarityFunction,
+        index: InvertedIndex,
+    ) -> Signature | None:
+        if phi.alpha <= 0.0:
+            # Without a similarity threshold every token of every element
+            # would be required; there is no useful sim-thresh signature.
+            return None
+
+        weights = weights_for(reference, phi)
+        per_element: list[frozenset[int]] = []
+        for i, element in enumerate(reference.elements):
+            budget = weights[i].budget
+            if budget == NO_BUDGET or budget > weights[i].n_tokens:
+                return None  # element cannot be covered; scheme is empty
+            cheapest = sorted(
+                element.signature_tokens,
+                key=lambda t: (index.list_length(t), t),
+            )[:budget]
+            per_element.append(frozenset(cheapest))
+
+        chosen: set[int] = set()
+        for tokens in per_element:
+            chosen |= tokens
+        bounds = tuple(0.0 for _ in per_element)  # every element saturated
+        return Signature(
+            tokens=frozenset(chosen),
+            per_element=tuple(per_element),
+            element_bounds=bounds,
+            scheme=self.name,
+        )

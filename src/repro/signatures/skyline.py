@@ -1,0 +1,69 @@
+"""The skyline signature scheme (paper Section 6.3).
+
+Theorem 5 shows the skyline scheme still contains the optimal
+alpha-valid signature of the combined scheme.  The approximate
+algorithm: generate a weighted signature K greedily, then for each
+element whose ``k_i`` meets the sim-thresh budget, keep only the budget
+many cheapest tokens of ``k_i`` (after which the element saturates and
+its bound collapses to 0).
+"""
+
+from __future__ import annotations
+
+from repro.core.records import SetRecord
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import Signature, SignatureScheme
+from repro.signatures.weighted import WeightedScheme
+from repro.signatures.weights import weights_for
+
+
+class SkylineScheme(SignatureScheme):
+    """Weighted greedy, post-trimmed by the per-element alpha budget."""
+
+    name = "skyline"
+
+    def __init__(self) -> None:
+        self._weighted = WeightedScheme()
+
+    def generate(
+        self,
+        reference: SetRecord,
+        theta: float,
+        phi: SimilarityFunction,
+        index: InvertedIndex,
+    ) -> Signature | None:
+        base = self._weighted.generate(reference, theta, phi, index)
+        if base is None:
+            return None
+        if phi.alpha <= 0.0:
+            # The scheme degenerates to the weighted scheme at alpha = 0.
+            return Signature(
+                tokens=base.tokens,
+                per_element=base.per_element,
+                element_bounds=base.element_bounds,
+                scheme=self.name,
+            )
+
+        weights = weights_for(reference, phi)
+        per_element: list[frozenset[int]] = []
+        bounds: list[float] = []
+        for i, k_i in enumerate(base.per_element):
+            budget = weights[i].budget
+            if len(k_i) >= budget:
+                trimmed = sorted(k_i, key=lambda t: (index.list_length(t), t))
+                per_element.append(frozenset(trimmed[:budget]))
+                bounds.append(0.0)  # saturated: non-matchers fall below alpha
+            else:
+                per_element.append(k_i)
+                bounds.append(weights[i].effective_bound(len(k_i), phi.alpha))
+
+        chosen: set[int] = set()
+        for tokens in per_element:
+            chosen |= tokens
+        return Signature(
+            tokens=frozenset(chosen),
+            per_element=tuple(per_element),
+            element_bounds=tuple(bounds),
+            scheme=self.name,
+        )

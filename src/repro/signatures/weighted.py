@@ -1,0 +1,99 @@
+"""The weighted signature scheme (paper Sections 4.2-4.3 and 7.1).
+
+Theorem 1 shows this scheme is exactly the space of valid signatures
+(for ``alpha = 0``); Theorem 2 shows picking the optimal member is
+NP-complete.  Following Section 4.3 we use the knapsack-style greedy:
+rank tokens by ``cost / value`` ascending -- cost is the inverted-list
+length, value the total bound reduction the token buys -- and select
+until the residual bound drops below theta.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.records import SetRecord
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import Signature, SignatureScheme
+from repro.signatures.weights import ElementWeights, weights_for
+
+
+def rank_tokens(
+    reference: SetRecord,
+    index: InvertedIndex,
+    weights: list[ElementWeights],
+) -> tuple[list[int], dict[int, list[int]]]:
+    """Distinct signature tokens ranked by cost/value ascending.
+
+    Returns the ranked token list and a map from token id to the indices
+    of the reference elements containing it.  The value of a token is the
+    sum over its elements of the first-selection marginal bound decrease
+    (exact for Jaccard, where marginals are constant per element; a
+    standard static approximation for edit similarity).
+    """
+    occurrences: dict[int, list[int]] = defaultdict(list)
+    for i, element in enumerate(reference.elements):
+        for token in element.signature_tokens:
+            occurrences[token].append(i)
+
+    def sort_key(token: int) -> tuple[float, int]:
+        value = sum(weights[i].marginal(0) for i in occurrences[token])
+        cost = index.list_length(token)
+        if value <= 0.0:
+            return (float("inf"), token)
+        return (cost / value, token)
+
+    ranked = sorted(occurrences, key=sort_key)
+    return ranked, occurrences
+
+
+class WeightedScheme(SignatureScheme):
+    """Greedy selection within the weighted signature scheme.
+
+    Ignores ``alpha`` during construction (the signature is valid for
+    any alpha); the emitted per-element bounds are still alpha-tightened
+    because that is always sound.
+    """
+
+    name = "weighted"
+
+    def generate(
+        self,
+        reference: SetRecord,
+        theta: float,
+        phi: SimilarityFunction,
+        index: InvertedIndex,
+    ) -> Signature | None:
+        weights = weights_for(reference, phi)
+        ranked, occurrences = rank_tokens(reference, index, weights)
+
+        selected_counts = [0] * len(reference)
+        per_element: list[set[int]] = [set() for _ in range(len(reference))]
+        chosen: set[int] = set()
+        residual = sum(w.bound(0) for w in weights)
+
+        for token in ranked:
+            if residual < theta:
+                break
+            for i in occurrences[token]:
+                residual -= weights[i].marginal(selected_counts[i])
+                selected_counts[i] += 1
+                per_element[i].add(token)
+            chosen.add(token)
+
+        if residual >= theta:
+            # Even the full token set cannot certify the bound; no valid
+            # signature exists (Section 7.3).  Caller must full-scan.
+            return None
+
+        bounds = tuple(
+            weights[i].effective_bound(selected_counts[i], phi.alpha)
+            for i in range(len(reference))
+        )
+        return Signature(
+            tokens=frozenset(chosen),
+            per_element=tuple(frozenset(s) for s in per_element),
+            element_bounds=bounds,
+            scheme=self.name,
+        )

@@ -1,0 +1,155 @@
+"""Per-element weight arithmetic shared by the signature schemes.
+
+The weighted signature scheme attributes to each element r_i an upper
+bound on ``phi(r_i, s)`` over all s sharing no token with the chosen
+``k_i``.  With ``x = |r_i| - |k_i|`` the maximum number of tokens such
+an s can still share:
+
+* Jaccard (Section 4.2): ``x / |r_i|`` -- since ``|r_i u s| >= |r_i|``.
+* Dice: ``2x / (|r_i| + x)`` -- since ``|s| >= x`` and Dice is
+  increasing in the intersection.
+* Cosine: ``sqrt(x / |r_i|)`` -- since ``|s| >= x`` gives
+  ``x / sqrt(|r_i| x)``.
+* Overlap: 1 unless *every* token is selected -- a set consisting of a
+  single shared token already achieves overlap 1, so no partial
+  signature can bound it.
+* Edit similarity (Section 7.1): ``|r_i| / (|r_i| + |k_i|)`` where
+  ``|r_i|`` is the string length and ``k_i`` counts selected q-chunks.
+
+The sim-thresh family additionally saturates an element once it holds
+enough tokens that any non-matching element must fall below ``alpha``
+(the bound then collapses to 0):
+
+* Jaccard (Section 6.1): ``floor((1 - alpha) |r_i|) + 1`` tokens.
+* Dice: ``floor((2 - 2 alpha) / (2 - alpha) * |r_i|) + 1`` -- from
+  ``2x / (|r_i| + x) < alpha  <=>  x < alpha |r_i| / (2 - alpha)``.
+* Cosine: ``floor((1 - alpha^2) |r_i|) + 1`` -- from
+  ``sqrt(x / |r_i|) < alpha  <=>  x < alpha^2 |r_i|``.
+* Overlap: all ``|r_i|`` tokens -- one shared token suffices for
+  overlap 1, so only a signature containing every token guarantees a
+  non-matching element scores 0.
+* Edit (Section 7.2): ``floor((1 - alpha) / alpha * |r_i|) + 1`` chunks.
+
+Every budget is *sound* for exactness (Lemma 1 style: missing the
+budget implies the bound), but only Jaccard's is also tight (Lemma 2);
+for the other token kinds the adversarial set of Lemma 2 does not
+achieve the bound exactly, so the scheme is valid-but-not-complete,
+which exactness does not require.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.records import ElementRecord, SetRecord
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+
+#: Sentinel for "no sim-thresh budget applies" (alpha == 0).
+NO_BUDGET = 1 << 60
+
+#: Guard against float noise pushing a mathematically-integer value just
+#: below the integer before flooring (soundness requires rounding UP in
+#: that case: the budget must strictly exceed the real threshold).
+_FLOOR_EPS = 1e-9
+
+
+def robust_floor(value: float) -> int:
+    """floor(value), treating values within 1e-9 of an integer as exact."""
+    return math.floor(value + _FLOOR_EPS)
+
+
+def _sim_thresh_budget(kind: SimilarityKind, length: int, alpha: float) -> int:
+    """Smallest signature size m such that ``s cap m = {}`` forces
+    ``phi(r, s) < alpha`` (see module docstring for the derivations)."""
+    if kind is SimilarityKind.JACCARD:
+        return robust_floor((1.0 - alpha) * length) + 1
+    if kind is SimilarityKind.DICE:
+        return robust_floor((2.0 - 2.0 * alpha) / (2.0 - alpha) * length) + 1
+    if kind is SimilarityKind.COSINE:
+        return robust_floor((1.0 - alpha * alpha) * length) + 1
+    if kind is SimilarityKind.OVERLAP:
+        return length
+    # Edit kinds: floor((1 - alpha) / alpha * |r|) + 1 q-chunks.
+    return robust_floor((1.0 - alpha) / alpha * length) + 1
+
+
+@dataclass(frozen=True)
+class ElementWeights:
+    """Weight bookkeeping for one reference element.
+
+    Attributes
+    ----------
+    length:
+        The paper's ``|r_i|`` (distinct word tokens, or string length).
+    n_tokens:
+        How many distinct signature tokens the element offers.
+    budget:
+        The sim-thresh saturation size; ``NO_BUDGET`` when alpha == 0.
+    """
+
+    kind: SimilarityKind
+    length: int
+    n_tokens: int
+    budget: int
+
+    @classmethod
+    def for_element(
+        cls, element: ElementRecord, phi: SimilarityFunction
+    ) -> "ElementWeights":
+        kind = phi.kind
+        length = element.length
+        n_tokens = len(element.signature_tokens)
+        if phi.alpha <= 0.0 or length == 0:
+            budget = NO_BUDGET
+        else:
+            budget = _sim_thresh_budget(kind, length, phi.alpha)
+        return cls(kind=kind, length=length, n_tokens=n_tokens, budget=budget)
+
+    # ------------------------------------------------------------------
+    def bound(self, selected: int) -> float:
+        """Upper bound on ``phi(r_i, s)`` with *selected* signature tokens.
+
+        Valid for any s sharing none of the selected tokens.  Elements
+        with no tokens at all are unboundable and return 1.0.
+        """
+        if self.length == 0 or self.n_tokens == 0:
+            return 1.0 if selected == 0 else 0.0
+        if self.kind is SimilarityKind.JACCARD:
+            return max(0.0, (self.length - selected) / self.length)
+        if self.kind is SimilarityKind.DICE:
+            x = max(0, self.length - selected)
+            return 2.0 * x / (self.length + x) if x else 0.0
+        if self.kind is SimilarityKind.COSINE:
+            x = max(0, self.length - selected)
+            return math.sqrt(x / self.length) if x else 0.0
+        if self.kind is SimilarityKind.OVERLAP:
+            return 1.0 if selected < self.n_tokens else 0.0
+        return self.length / (self.length + selected)
+
+    def marginal(self, selected: int) -> float:
+        """Bound decrease from selecting one more token after *selected*."""
+        return self.bound(selected) - self.bound(selected + 1)
+
+    def saturated(self, selected: int) -> bool:
+        """True once *selected* tokens meet the sim-thresh budget."""
+        return selected >= self.budget
+
+    def effective_bound(self, selected: int, alpha: float) -> float:
+        """The filter-facing bound: saturation and alpha-cut applied.
+
+        If the element is saturated, any non-matching s has similarity
+        below alpha, hence ``phi_alpha = 0``.  Likewise if the raw bound
+        is already below alpha, the thresholded similarity is 0.
+        """
+        if self.saturated(selected):
+            return 0.0
+        raw = self.bound(selected)
+        if raw < alpha:
+            return 0.0
+        return raw
+
+
+def weights_for(reference: SetRecord, phi: SimilarityFunction) -> list[ElementWeights]:
+    """ElementWeights for every element of *reference*."""
+    return [ElementWeights.for_element(element, phi) for element in reference.elements]

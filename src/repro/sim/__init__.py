@@ -1,0 +1,34 @@
+"""Element-level similarity functions (paper Section 2.1).
+
+SilkMoth measures relatedness between *sets* via a maximum weighted
+bipartite matching whose edge weights come from an element-level
+similarity function ``phi``.  This subpackage implements the three
+functions the paper supports:
+
+* :func:`jaccard` -- token-based Jaccard similarity,
+* :func:`eds` -- edit similarity ``1 - 2*LD / (|x| + |y| + LD)``,
+* :func:`neds` -- normalised edit similarity ``1 - LD / max(|x|, |y|)``,
+
+plus :func:`levenshtein` (the underlying edit distance, implemented from
+scratch with an early-exit band) and :class:`SimilarityFunction`, the
+``alpha``-thresholded wrapper used throughout the engine.
+"""
+
+from repro.sim.levenshtein import levenshtein, levenshtein_within
+from repro.sim.functions import (
+    SimilarityFunction,
+    SimilarityKind,
+    eds,
+    jaccard,
+    neds,
+)
+
+__all__ = [
+    "SimilarityFunction",
+    "SimilarityKind",
+    "eds",
+    "jaccard",
+    "levenshtein",
+    "levenshtein_within",
+    "neds",
+]

@@ -1,0 +1,236 @@
+"""Similarity functions ``phi`` and the ``alpha``-thresholded wrapper.
+
+The paper (Section 2.1) defines similarity between two *elements* -- an
+element is a bag of word tokens under the token-based functions, or a
+raw string under the edit-based ones -- and optionally zeroes out
+similarities below a threshold ``alpha``::
+
+    phi_alpha(x, y) = phi(x, y)  if phi(x, y) >= alpha else 0
+
+The paper evaluates Jaccard and Eds and notes the other members of the
+two families "can be supported in similar ways" (Section 2.1).  We
+implement that claim: Dice, cosine and overlap are additional
+token-based kinds, each with its own signature bound derivation (see
+:mod:`repro.signatures.weights`).
+
+:class:`SimilarityFunction` bundles a similarity kind with ``alpha`` and
+exposes both the token-level interface used by the filters (which operate
+on token id sets) and the string-level interface used by verification.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Collection
+from dataclasses import dataclass
+
+from repro.sim.levenshtein import levenshtein, levenshtein_within
+
+
+def _as_sets(x: Collection, y: Collection) -> tuple[Collection, Collection]:
+    if not isinstance(x, (set, frozenset)):
+        x = set(x)
+    if not isinstance(y, (set, frozenset)):
+        y = set(y)
+    return x, y
+
+
+def jaccard(x: Collection, y: Collection) -> float:
+    """Jaccard similarity ``|x & y| / (|x| + |y| - |x & y|)`` of two token sets."""
+    if not x or not y:
+        return 1.0 if not x and not y else 0.0
+    x, y = _as_sets(x, y)
+    inter = len(x & y)
+    if inter == 0:
+        return 0.0
+    return inter / (len(x) + len(y) - inter)
+
+
+def dice(x: Collection, y: Collection) -> float:
+    """Sorensen-Dice similarity ``2 |x & y| / (|x| + |y|)`` of two token sets."""
+    if not x or not y:
+        return 1.0 if not x and not y else 0.0
+    x, y = _as_sets(x, y)
+    inter = len(x & y)
+    if inter == 0:
+        return 0.0
+    return 2.0 * inter / (len(x) + len(y))
+
+
+def cosine(x: Collection, y: Collection) -> float:
+    """Set cosine similarity ``|x & y| / sqrt(|x| * |y|)`` of two token sets."""
+    if not x or not y:
+        return 1.0 if not x and not y else 0.0
+    x, y = _as_sets(x, y)
+    inter = len(x & y)
+    if inter == 0:
+        return 0.0
+    return inter / math.sqrt(len(x) * len(y))
+
+
+def overlap(x: Collection, y: Collection) -> float:
+    """Overlap coefficient ``|x & y| / min(|x|, |y|)`` of two token sets."""
+    if not x or not y:
+        return 1.0 if not x and not y else 0.0
+    x, y = _as_sets(x, y)
+    inter = len(x & y)
+    if inter == 0:
+        return 0.0
+    return inter / min(len(x), len(y))
+
+
+def eds(x: str, y: str) -> float:
+    """Edit similarity ``1 - 2*LD / (|x| + |y| + LD)`` (paper Section 2.1).
+
+    The dual distance ``1 - eds`` satisfies the triangle inequality, which
+    is what enables the reduction-based verification of Section 5.3.
+    """
+    if x == y:
+        return 1.0
+    distance = levenshtein(x, y)
+    return 1.0 - 2.0 * distance / (len(x) + len(y) + distance)
+
+
+def neds(x: str, y: str) -> float:
+    """Normalised edit similarity ``1 - LD / max(|x|, |y|)``."""
+    if x == y:
+        return 1.0
+    longest = max(len(x), len(y))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(x, y) / longest
+
+
+#: Token-set similarity callables keyed by kind value.
+_TOKEN_FUNCTIONS = {
+    "jaccard": jaccard,
+    "dice": dice,
+    "cosine": cosine,
+    "overlap": overlap,
+}
+
+
+class SimilarityKind(enum.Enum):
+    """The element similarity functions SilkMoth supports.
+
+    Four token-based kinds (elements are bags of whitespace words) and
+    two character-based kinds (elements are raw strings, tokenised into
+    q-grams for indexing).
+    """
+
+    JACCARD = "jaccard"
+    DICE = "dice"
+    COSINE = "cosine"
+    OVERLAP = "overlap"
+    EDS = "eds"
+    NEDS = "neds"
+
+    @property
+    def is_edit_based(self) -> bool:
+        """True for the two character-level (q-gram tokenised) functions."""
+        return self in (SimilarityKind.EDS, SimilarityKind.NEDS)
+
+    @property
+    def is_token_based(self) -> bool:
+        """True for the word-token set similarities."""
+        return not self.is_edit_based
+
+    @property
+    def supports_reduction(self) -> bool:
+        """True when ``1 - phi`` is a metric, enabling Section 5.3.
+
+        Jaccard distance and the ``1 - Eds`` dual both satisfy the
+        triangle inequality.  Dice, cosine, overlap and NEds duals do
+        not (the paper singles out Eds as "the preferable edit
+        similarity function" for exactly this reason), so the
+        identical-element reduction would be unsound for them.
+        """
+        return self in (SimilarityKind.JACCARD, SimilarityKind.EDS)
+
+
+@dataclass(frozen=True)
+class SimilarityFunction:
+    """An ``alpha``-thresholded element similarity function ``phi_alpha``.
+
+    Parameters
+    ----------
+    kind:
+        Which base similarity to use.
+    alpha:
+        Minimum element similarity; scores below ``alpha`` are treated
+        as 0 (paper Section 2.1).  ``alpha = 0`` disables thresholding.
+    """
+
+    kind: SimilarityKind
+    alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+
+    # ------------------------------------------------------------------
+    # Raw (unthresholded) similarity
+    # ------------------------------------------------------------------
+    def raw_tokens(self, x: Collection, y: Collection) -> float:
+        """Unthresholded similarity of two token-id sets (token kinds only)."""
+        if self.kind.is_edit_based:
+            raise ValueError("raw_tokens requires a token-based kind")
+        return _TOKEN_FUNCTIONS[self.kind.value](x, y)
+
+    def raw_strings(self, x: str, y: str) -> float:
+        """Unthresholded similarity of two element strings."""
+        if self.kind is SimilarityKind.EDS:
+            return eds(x, y)
+        if self.kind is SimilarityKind.NEDS:
+            return neds(x, y)
+        return _TOKEN_FUNCTIONS[self.kind.value](x.split(), y.split())
+
+    # ------------------------------------------------------------------
+    # alpha-thresholded similarity
+    # ------------------------------------------------------------------
+    def __call__(self, x: str, y: str) -> float:
+        """``phi_alpha`` on two element strings."""
+        return self.threshold(self.raw_strings(x, y))
+
+    def tokens(self, x: Collection, y: Collection) -> float:
+        """``phi_alpha`` on two token-id sets (token kinds only)."""
+        return self.threshold(self.raw_tokens(x, y))
+
+    def threshold(self, score: float) -> float:
+        """Apply the ``alpha`` cut-off to a raw similarity score."""
+        return score if score >= self.alpha else 0.0
+
+    # ------------------------------------------------------------------
+    # Bounded edit similarity (hot-path helper)
+    # ------------------------------------------------------------------
+    def edit_at_least(self, x: str, y: str, floor: float) -> float:
+        """``phi_alpha(x, y)`` for edit kinds, or 0.0 if it is below *floor*.
+
+        Uses the banded Levenshtein so strings that cannot reach *floor*
+        are rejected without filling the full DP table.
+        """
+        cutoff = max(floor, self.alpha)
+        if cutoff <= 0.0:
+            return self.threshold(self.raw_strings(x, y))
+        if x == y:
+            return 1.0
+        len_x, len_y = len(x), len(y)
+        # The 1e-9 guard keeps float noise from truncating a
+        # mathematically-integer limit one too low (which would reject
+        # boundary strings and break filter soundness).
+        if self.kind is SimilarityKind.EDS:
+            # eds >= cutoff  <=>  LD <= (1 - cutoff) * (|x| + |y|) / (1 + cutoff)
+            max_ld = int((1.0 - cutoff) * (len_x + len_y) / (1.0 + cutoff) + 1e-9)
+        elif self.kind is SimilarityKind.NEDS:
+            max_ld = int((1.0 - cutoff) * max(len_x, len_y) + 1e-9)
+        else:
+            raise ValueError("edit_at_least requires an edit-based kind")
+        distance = levenshtein_within(x, y, max_ld)
+        if distance > max_ld:
+            return 0.0
+        if self.kind is SimilarityKind.EDS:
+            score = 1.0 - 2.0 * distance / (len_x + len_y + distance)
+        else:
+            score = 1.0 - distance / max(len_x, len_y)
+        return self.threshold(score) if score >= floor else 0.0

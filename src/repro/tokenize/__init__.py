@@ -1,0 +1,37 @@
+"""Tokenizers (paper Section 3 and Section 7).
+
+Every element of every set is turned into an array of tokens.  Which
+tokens depends on the similarity function:
+
+* Jaccard -- each whitespace-delimited word is a token.
+* Edit similarity -- each *q-gram* (q-length substring of the padded
+  element) is a token; signatures are additionally built from
+  *q-chunks*, the non-overlapping q-grams at offsets 0, q, 2q, ...
+
+Token strings are interned into integer ids by :class:`Vocabulary` so
+the rest of the system works on compact ``frozenset[int]`` token sets.
+"""
+
+from repro.tokenize.tokenizers import (
+    PAD_CHAR,
+    Tokenizer,
+    max_q_for_alpha,
+    max_q_for_delta,
+    pad_for_qgrams,
+    qchunks,
+    qgrams,
+    whitespace_tokens,
+)
+from repro.tokenize.vocabulary import Vocabulary
+
+__all__ = [
+    "PAD_CHAR",
+    "Tokenizer",
+    "Vocabulary",
+    "max_q_for_alpha",
+    "max_q_for_delta",
+    "pad_for_qgrams",
+    "qchunks",
+    "qgrams",
+    "whitespace_tokens",
+]

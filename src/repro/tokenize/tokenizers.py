@@ -1,0 +1,122 @@
+"""Token extraction: words, q-grams and q-chunks.
+
+The paper pads ``q - 1`` special characters at the end of each element so
+the final q-chunk is complete (Section 3, footnote 3).  We pad with
+``PAD_CHAR``, a code point that never occurs in real data, so padded
+q-grams cannot collide with genuine substrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.functions import SimilarityKind
+
+#: Padding character appended to elements before q-gram extraction.
+PAD_CHAR = "␟"  # SYMBOL FOR UNIT SEPARATOR -- visually distinct, never in data
+
+
+def whitespace_tokens(element: str) -> list[str]:
+    """Split *element* on whitespace (Jaccard tokenisation)."""
+    return element.split()
+
+
+def pad_for_qgrams(element: str, q: int) -> str:
+    """Return *element* with ``q - 1`` padding characters appended."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return element + PAD_CHAR * (q - 1)
+
+
+def qgrams(element: str, q: int) -> list[str]:
+    """All q-length substrings of the padded element (index tokens).
+
+    An empty element yields no tokens.
+    """
+    padded = pad_for_qgrams(element, q)
+    if not element:
+        return []
+    return [padded[i : i + q] for i in range(len(element))]
+
+
+def qchunks(element: str, q: int) -> list[str]:
+    """The non-overlapping q-grams covering the element (signature tokens).
+
+    There are ``ceil(len(element) / q)`` chunks, at offsets 0, q, 2q, ...
+    Every q-chunk is also a q-gram of the padded element, so chunk ids
+    can be looked up directly in the q-gram inverted index.
+    """
+    padded = pad_for_qgrams(element, q)
+    if not element:
+        return []
+    return [padded[i : i + q] for i in range(0, len(element), q)]
+
+
+def max_q_for_delta(delta: float) -> int:
+    """Largest q keeping the weighted signature scheme non-empty (Section 7.3).
+
+    The scheme is non-empty only if ``q < delta / (1 - delta)``.  For
+    ``delta >= 1`` any q works (we cap at a sane default of 64).
+    """
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    if delta >= 1.0:
+        return 64
+    limit = delta / (1.0 - delta)
+    q = _strictly_below(limit)
+    return max(1, min(q, 64))
+
+
+def _strictly_below(limit: float, tolerance: float = 1e-9) -> int:
+    """Largest integer strictly below *limit*, robust to float noise."""
+    q = int(limit + tolerance)
+    if abs(q - limit) <= tolerance:  # limit is (numerically) an integer
+        q -= 1
+    return q
+
+
+def max_q_for_alpha(alpha: float) -> int:
+    """Largest q satisfying the evaluation's constraint ``q < alpha / (1 - alpha)``.
+
+    This is the rule the experiments use to pick q from the element
+    similarity threshold (Section 8.1, footnote 11); e.g. ``alpha = 0.85``
+    gives ``q = 5``.  ``alpha = 0`` imposes no constraint; we return 1.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if alpha >= 1.0:
+        return 64
+    if alpha <= 0.5:
+        return 1
+    limit = alpha / (1.0 - alpha)
+    q = _strictly_below(limit)
+    return max(1, min(q, 64))
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Tokenisation policy for one similarity kind.
+
+    For Jaccard, index tokens and signature tokens coincide (words).
+    For edit similarity, index tokens are q-grams and signature tokens
+    are q-chunks.
+    """
+
+    kind: SimilarityKind
+    q: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind.is_edit_based and self.q < 1:
+            raise ValueError(f"q must be >= 1 for edit similarity, got {self.q}")
+
+    def index_tokens(self, element: str) -> list[str]:
+        """Tokens used to build the inverted index and run NN search."""
+        if self.kind.is_token_based:
+            return whitespace_tokens(element)
+        return qgrams(element, self.q)
+
+    def signature_tokens(self, element: str) -> list[str]:
+        """Tokens signatures may select from (words, or q-chunks)."""
+        if self.kind.is_token_based:
+            return whitespace_tokens(element)
+        return qchunks(element, self.q)

@@ -1,0 +1,45 @@
+"""Token interning.
+
+The engine works on integer token ids so that set operations and
+inverted-index lookups are cheap.  :class:`Vocabulary` maps token strings
+to dense ids and tracks per-token document frequencies (how many indexed
+(set, element) pairs contain the token), which signature heuristics use
+as the ``cost`` of a token.
+"""
+
+from __future__ import annotations
+
+
+class Vocabulary:
+    """A bidirectional mapping between token strings and dense integer ids."""
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def intern(self, token: str) -> int:
+        """Return the id of *token*, assigning a fresh one if unseen."""
+        token_id = self._token_to_id.get(token)
+        if token_id is None:
+            token_id = len(self._id_to_token)
+            self._token_to_id[token] = token_id
+            self._id_to_token.append(token)
+        return token_id
+
+    def intern_all(self, tokens: list[str]) -> list[int]:
+        """Intern every token in order, preserving duplicates."""
+        return [self.intern(token) for token in tokens]
+
+    def id_of(self, token: str) -> int | None:
+        """Return the id of *token*, or None if it was never interned."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the string for *token_id* (raises IndexError if unknown)."""
+        return self._id_to_token[token_id]

@@ -1,0 +1,23 @@
+"""The three evaluation applications (paper Section 8.1, Table 3).
+
+Each workload bundles a dataset generator, the tokenisation policy, and
+the experiment grid (metric, similarity function, default delta/alpha)
+so that benchmarks and examples can say ``string_matching(n_sets=...)``
+and get a ready-to-run configuration.
+"""
+
+from repro.workloads.applications import (
+    Workload,
+    inclusion_dependency,
+    schema_matching,
+    string_matching,
+    WORKLOADS,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "inclusion_dependency",
+    "schema_matching",
+    "string_matching",
+]

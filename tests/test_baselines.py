@@ -1,0 +1,140 @@
+"""Tests for the brute-force oracle and the FastJoin-style baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_discover, brute_force_search
+from repro.baselines.fastjoin import FastJoinBaseline
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+
+
+def _edit_collection(seed=5, n=14):
+    rng = random.Random(seed)
+    words = ["silkmoth", "matching", "related", "signature"]
+    sets = []
+    for _ in range(n):
+        elements = []
+        for _ in range(rng.randint(1, 3)):
+            word = rng.choice(words)
+            if rng.random() < 0.5:
+                chars = list(word)
+                chars[rng.randrange(len(chars))] = rng.choice("xyz")
+                word = "".join(chars)
+            elements.append(word)
+        sets.append(elements)
+    return sets
+
+
+class TestBruteForce:
+    def test_search_symmetric_with_discover(self):
+        sets = [["a b", "c d"], ["a b", "c e"], ["x y"]]
+        collection = SetCollection.from_strings(sets)
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.5)
+        pairs = brute_force_discover(collection, config)
+        keys = {(p.reference_id, p.set_id) for p in pairs}
+        assert (0, 1) in keys
+        assert all(r < s for r, s in keys)
+
+    def test_search_skip_set(self):
+        sets = [["a b"], ["a b"]]
+        collection = SetCollection.from_strings(sets)
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.9)
+        results = brute_force_search(collection[0], collection, config, skip_set=0)
+        assert [r.set_id for r in results] == [1]
+
+    def test_empty_reference(self):
+        collection = SetCollection.from_strings([["a"]])
+        config = SilkMothConfig(delta=0.5)
+        sibling = collection.sibling()
+        empty = sibling.add_set([])
+        assert brute_force_search(empty, collection, config) == []
+
+    def test_containment_discovery_is_directional(self):
+        # A strict superset contains the subset, not vice versa.
+        sets = [["a b", "c d", "e f", "g h"], ["a b", "c d"]]
+        collection = SetCollection.from_strings(sets)
+        config = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.99)
+        pairs = brute_force_discover(collection, config)
+        keys = {(p.reference_id, p.set_id) for p in pairs}
+        assert (1, 0) in keys  # set1 is contained in set0
+        assert (0, 1) not in keys
+
+
+class TestFastJoinBaseline:
+    def test_rejects_containment(self):
+        sets = _edit_collection()
+        config = SilkMothConfig(
+            metric=Relatedness.CONTAINMENT,
+            similarity=SimilarityKind.EDS,
+            delta=0.7,
+            alpha=0.8,
+        )
+        collection = SetCollection.from_strings(
+            sets, kind=SimilarityKind.EDS, q=config.effective_q
+        )
+        with pytest.raises(ValueError):
+            FastJoinBaseline(collection, config)
+
+    def test_rejects_jaccard(self):
+        collection = SetCollection.from_strings([["a b"]])
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.7)
+        with pytest.raises(ValueError):
+            FastJoinBaseline(collection, config)
+
+    def test_same_output_as_silkmoth(self):
+        sets = _edit_collection()
+        config = SilkMothConfig(
+            metric=Relatedness.SIMILARITY,
+            similarity=SimilarityKind.EDS,
+            delta=0.6,
+            alpha=0.7,
+        )
+        collection = SetCollection.from_strings(
+            sets, kind=SimilarityKind.EDS, q=config.effective_q
+        )
+        fastjoin = FastJoinBaseline(collection, config)
+        silkmoth = SilkMoth(collection, config)
+        fj_pairs = sorted((p.reference_id, p.set_id) for p in fastjoin.discover())
+        sm_pairs = sorted((p.reference_id, p.set_id) for p in silkmoth.discover())
+        assert fj_pairs == sm_pairs
+
+    def test_examines_at_least_as_many_candidates(self):
+        # The whole point: FastJoin verifies more candidates than
+        # SilkMoth with filters enabled.
+        sets = _edit_collection(seed=8, n=30)
+        config = SilkMothConfig(
+            metric=Relatedness.SIMILARITY,
+            similarity=SimilarityKind.EDS,
+            delta=0.6,
+            alpha=0.7,
+        )
+        collection = SetCollection.from_strings(
+            sets, kind=SimilarityKind.EDS, q=config.effective_q
+        )
+        fastjoin = FastJoinBaseline(collection, config)
+        fastjoin.discover()
+        silkmoth = SilkMoth(collection, config)
+        silkmoth.discover()
+        assert fastjoin.stats.verified >= silkmoth.stats.verified
+
+    def test_config_is_forced(self):
+        sets = _edit_collection()
+        config = SilkMothConfig(
+            metric=Relatedness.SIMILARITY,
+            similarity=SimilarityKind.EDS,
+            delta=0.6,
+            alpha=0.7,
+            scheme="dichotomy",
+            check_filter=True,
+        )
+        collection = SetCollection.from_strings(
+            sets, kind=SimilarityKind.EDS, q=config.effective_q
+        )
+        fastjoin = FastJoinBaseline(collection, config)
+        assert fastjoin.config.scheme == "comb_unweighted"
+        assert not fastjoin.config.check_filter
+        assert not fastjoin.config.nn_filter

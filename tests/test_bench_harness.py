@@ -1,0 +1,57 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+from repro.bench.harness import run_discovery, run_search, run_workload
+from repro.bench.reporting import format_series
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.records import SetCollection
+from repro.workloads.applications import inclusion_dependency, schema_matching
+
+
+class TestHarness:
+    def test_run_discovery(self):
+        collection = SetCollection.from_strings(
+            [["a b", "c d"], ["a b", "c d"], ["x y"]]
+        )
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.9)
+        result = run_discovery(collection, config, label="smoke")
+        assert result.label == "smoke"
+        assert result.matches == 1
+        assert result.seconds > 0
+        assert result.stats.passes == 3
+
+    def test_run_search(self):
+        collection = SetCollection.from_strings(
+            [["a b", "c d", "e f", "g h", "i j"], ["a b", "c d"], ["x y"]]
+        )
+        config = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.9)
+        result = run_search(collection, config, reference_ids=[1])
+        assert result.matches == 1  # set1 contained in set0
+
+    def test_run_workload_discovery_mode(self):
+        workload = schema_matching(n_sets=30)
+        result = run_workload(workload, label="schema")
+        assert result.seconds > 0
+        assert result.stats.passes == 30
+
+    def test_run_workload_search_mode(self):
+        workload = inclusion_dependency(n_sets=40, n_references=5)
+        result = run_workload(workload)
+        assert result.stats.passes == 5
+
+
+class TestReporting:
+    def test_format_series_contains_all_points(self):
+        text = format_series(
+            "Figure X", "theta", [0.7, 0.8],
+            {"OPT": [1.0, 0.5], "NOOPT": [3.0, 2.0]},
+        )
+        assert "Figure X" in text
+        assert "OPT" in text and "NOOPT" in text
+        assert "0.7" in text and "0.8" in text
+
+    def test_format_series_extra_columns(self):
+        text = format_series(
+            "Fig", "n", [10], {"t": [0.1]}, extra={"candidates": [42]}
+        )
+        assert "candidates" in text
+        assert "42" in text

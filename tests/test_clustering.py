@@ -1,0 +1,117 @@
+"""Union-find and cluster extraction over discovery output."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import UnionFind, cluster_related_sets, representatives
+from repro.core.config import SilkMothConfig
+from repro.core.engine import DiscoveryResult, SilkMoth
+from repro.core.records import SetCollection
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert len(uf.groups()) == 4
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) != uf.find(0)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_transitive_merge(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_groups_sorted(self):
+        uf = UnionFind(6)
+        uf.union(5, 3)
+        uf.union(0, 4)
+        groups = uf.groups()
+        assert groups == [[0, 4], [1], [2], [3, 5]]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_groups_partition(self, edges):
+        uf = UnionFind(20)
+        for a, b in edges:
+            uf.union(a, b)
+        groups = uf.groups()
+        flat = sorted(x for group in groups for x in group)
+        assert flat == list(range(20))
+        # Every edge's endpoints are in the same group.
+        membership = {}
+        for i, group in enumerate(groups):
+            for x in group:
+                membership[x] = i
+        for a, b in edges:
+            assert membership[a] == membership[b]
+
+
+class TestClusterRelatedSets:
+    def test_basic_components(self):
+        pairs = [(0, 1), (1, 2), (4, 5)]
+        clusters = cluster_related_sets(pairs, n_sets=7)
+        assert clusters == [[0, 1, 2], [4, 5]]
+
+    def test_singletons_optional(self):
+        pairs = [(0, 1)]
+        with_single = cluster_related_sets(
+            pairs, n_sets=3, include_singletons=True
+        )
+        assert with_single == [[0, 1], [2]]
+
+    def test_accepts_discovery_results(self):
+        pairs = [
+            DiscoveryResult(reference_id=0, set_id=2, score=1.0, relatedness=0.8)
+        ]
+        assert cluster_related_sets(pairs, n_sets=3) == [[0, 2]]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_related_sets([(0, 5)], n_sets=3)
+
+    def test_empty_pairs(self):
+        assert cluster_related_sets([], n_sets=4) == []
+
+    def test_end_to_end_with_engine(self):
+        sets = [["x y z"], ["x y z"], ["x y w"], ["p q"], ["p q"], ["solo"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.6))
+        pairs = engine.discover()
+        clusters = cluster_related_sets(pairs, n_sets=len(sets))
+        assert [0, 1] == clusters[0][:2]  # the identical pair clusters
+        assert [3, 4] in clusters
+        assert all(5 not in cluster for cluster in clusters)
+
+
+class TestRepresentatives:
+    def test_smallest_id_default(self):
+        assert representatives([[3, 1, 2], [5, 4]]) == [1, 4]
+
+    def test_largest_by_size(self):
+        sizes = [1, 9, 5, 2, 2]
+        assert representatives([[0, 1, 2], [3, 4]], sizes) == [1, 3]
+
+    def test_size_tie_prefers_smaller_id(self):
+        sizes = [4, 4]
+        assert representatives([[0, 1]], sizes) == [0]
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            representatives([[]])

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.datasets.dblp import dblp_like_titles
+from repro.datasets.text import ZipfVocabulary, corrupt_string, corrupt_tokens
+from repro.datasets.webtable import webtable_like_columns, webtable_like_schemas
+from repro.sim.levenshtein import levenshtein
+
+
+class TestZipfVocabulary:
+    def test_size(self):
+        vocab = ZipfVocabulary(size=100, seed=1)
+        assert len(vocab.words) == 100
+        assert len(set(vocab.words)) == 100
+
+    def test_deterministic(self):
+        a = ZipfVocabulary(size=50, seed=3)
+        b = ZipfVocabulary(size=50, seed=3)
+        assert a.words == b.words
+
+    def test_skewed_sampling(self):
+        vocab = ZipfVocabulary(size=200, seed=5, exponent=1.2)
+        rng = random.Random(0)
+        draws = [vocab.sample(rng) for _ in range(3000)]
+        counts = {}
+        for word in draws:
+            counts[word] = counts.get(word, 0) + 1
+        top = max(counts.values())
+        # The head of a Zipf distribution dominates a uniform draw.
+        assert top > 3000 / 200 * 4
+
+    def test_sample_many_distinct(self):
+        vocab = ZipfVocabulary(size=50, seed=2)
+        rng = random.Random(1)
+        words = vocab.sample_many(rng, 20)
+        assert len(words) == 20
+        assert len(set(words)) == 20
+
+
+class TestCorruption:
+    def test_corrupt_string_edits_bounded(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            original = "publication"
+            noisy = corrupt_string(original, rng, edits=2)
+            assert levenshtein(original, noisy) <= 2
+
+    def test_corrupt_string_empty(self):
+        rng = random.Random(9)
+        assert len(corrupt_string("", rng, edits=1)) == 1
+
+    def test_corrupt_tokens_never_empty(self):
+        rng = random.Random(4)
+        vocab = ZipfVocabulary(size=30, seed=4)
+        for _ in range(50):
+            noisy = corrupt_tokens(["one"], rng, vocab, 0.5, 0.9, 0.0)
+            assert noisy
+
+
+class TestDblpLike:
+    def test_count_and_shape(self):
+        titles = dblp_like_titles(100, seed=1, words_per_title=9)
+        assert len(titles) == 100
+        assert all(len(t) == 9 for t in titles)
+
+    def test_deterministic(self):
+        assert dblp_like_titles(50, seed=2) == dblp_like_titles(50, seed=2)
+
+    def test_different_seeds_differ(self):
+        assert dblp_like_titles(50, seed=2) != dblp_like_titles(50, seed=3)
+
+    def test_contains_near_duplicates(self):
+        titles = dblp_like_titles(60, seed=5, duplicate_fraction=0.5)
+        # At least one pair of titles must share most of their words.
+        best_overlap = 0
+        for i in range(len(titles)):
+            for j in range(i + 1, len(titles)):
+                a, b = set(titles[i]), set(titles[j])
+                overlap = len(a & b) / max(len(a | b), 1)
+                best_overlap = max(best_overlap, overlap)
+        assert best_overlap > 0.5
+
+    def test_zero_sets(self):
+        assert dblp_like_titles(0) == []
+
+
+class TestWebtableLike:
+    def test_schemas_shape(self):
+        schemas = webtable_like_schemas(80, seed=1, columns_per_schema=3)
+        assert len(schemas) == 80
+        assert all(len(s) == 3 for s in schemas)
+
+    def test_schemas_token_counts(self):
+        schemas = webtable_like_schemas(40, seed=2, values_per_column=11)
+        lengths = [len(col.split()) for schema in schemas for col in schema]
+        assert sum(lengths) / len(lengths) == pytest.approx(11, abs=3)
+
+    def test_columns_shape(self):
+        columns = webtable_like_columns(60, seed=3, values_per_column=22)
+        assert len(columns) == 60
+        sizes = [len(c) for c in columns]
+        assert max(sizes) > min(sizes)  # supersets and subsets both exist
+
+    def test_columns_contain_subset_pairs(self):
+        columns = webtable_like_columns(40, seed=4, containment_fraction=0.5)
+        found = False
+        for i in range(len(columns)):
+            for j in range(len(columns)):
+                if i == j or len(columns[i]) >= len(columns[j]):
+                    continue
+                small, big = set(columns[i]), set(columns[j])
+                if len(small & big) >= 0.5 * len(small):
+                    found = True
+        assert found
+
+    def test_deterministic(self):
+        assert webtable_like_columns(30, seed=6) == webtable_like_columns(30, seed=6)

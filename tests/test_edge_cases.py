@@ -1,0 +1,149 @@
+"""Engine robustness at the parameter and data boundaries."""
+
+import pytest
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth, relatedness_value
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+
+
+class TestDegenerateData:
+    def test_empty_collection(self):
+        collection = SetCollection.from_strings([])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.7))
+        assert engine.discover() == []
+
+    def test_single_set_self_discovery(self):
+        collection = SetCollection.from_strings([["a b c"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.7))
+        assert engine.discover() == []  # self pairs excluded
+
+    def test_empty_reference_set(self):
+        collection = SetCollection.from_strings([["a b"], []])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.7))
+        empty = collection[1]
+        assert engine.search(empty, skip_set=1) == []
+
+    def test_empty_candidate_never_related(self):
+        collection = SetCollection.from_strings([[], ["a"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        results = engine.search(collection[1], skip_set=1)
+        assert results == []
+
+    def test_whitespace_only_elements(self):
+        collection = SetCollection.from_strings([["   "], ["a"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        # The blank element tokenises to nothing; must not crash.
+        engine.discover()
+
+    def test_identical_duplicate_sets(self):
+        sets = [["x y z"], ["x y z"], ["x y z"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.9))
+        pairs = {(r.reference_id, r.set_id) for r in engine.discover()}
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_unicode_tokens(self):
+        sets = [["café münchen 北京"], ["café münchen 北京"], ["wholly different"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.9))
+        pairs = {(r.reference_id, r.set_id) for r in engine.discover()}
+        assert (0, 1) in pairs
+
+
+class TestBoundaryThresholds:
+    def test_delta_one_requires_perfection(self):
+        sets = [["a b"], ["a b"], ["a c"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=1.0))
+        pairs = {(r.reference_id, r.set_id) for r in engine.discover()}
+        assert pairs == {(0, 1)}
+
+    def test_alpha_one_only_identical_elements_count(self):
+        sets = [["a b", "c d"], ["a b", "c x"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(
+            collection, SilkMothConfig(delta=0.3, alpha=1.0)
+        )
+        results = engine.search(collection[0], skip_set=0)
+        # Only "a b" contributes (similarity 1); score 1, similar = 1/3.
+        assert len(results) == 1
+        assert results[0].score == pytest.approx(1.0)
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SilkMothConfig(delta=0.0)
+
+    def test_delta_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            SilkMothConfig(delta=1.2)
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SilkMothConfig(alpha=-0.1)
+        with pytest.raises(ValueError):
+            SilkMothConfig(alpha=1.5)
+
+
+class TestRelatednessValue:
+    def test_containment(self):
+        assert relatedness_value(
+            Relatedness.CONTAINMENT, 2.0, 4, 10
+        ) == pytest.approx(0.5)
+
+    def test_similarity(self):
+        assert relatedness_value(
+            Relatedness.SIMILARITY, 2.0, 3, 3
+        ) == pytest.approx(0.5)
+
+    def test_zero_reference(self):
+        assert relatedness_value(Relatedness.CONTAINMENT, 0.0, 0, 5) == 0.0
+
+    def test_perfect_similarity_denominator_guard(self):
+        # score == |R| == |S| makes the denominator equal score.
+        assert relatedness_value(Relatedness.SIMILARITY, 3.0, 3, 3) == 1.0
+
+
+class TestConfigCollectionMismatch:
+    def test_kind_mismatch_rejected(self):
+        collection = SetCollection.from_strings(
+            [["a"]], kind=SimilarityKind.JACCARD
+        )
+        config = SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.8)
+        with pytest.raises(ValueError, match="tokenised for"):
+            SilkMoth(collection, config)
+
+    def test_q_mismatch_rejected(self):
+        collection = SetCollection.from_strings(
+            [["abc"]], kind=SimilarityKind.EDS, q=2
+        )
+        config = SilkMothConfig(
+            similarity=SimilarityKind.EDS, alpha=0.8, q=3
+        )
+        with pytest.raises(ValueError, match="q="):
+            SilkMoth(collection, config)
+
+    def test_matching_q_accepted(self):
+        collection = SetCollection.from_strings(
+            [["abc"]], kind=SimilarityKind.EDS, q=3
+        )
+        config = SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.8, q=3)
+        SilkMoth(collection, config)
+
+
+class TestCrossCollectionDiscovery:
+    def test_reference_collection_shares_vocabulary(self):
+        collection = SetCollection.from_strings([["alpha beta"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        references = engine.reference_collection([["alpha beta"]])
+        assert references.vocabulary is collection.vocabulary
+        results = engine.search(references[0])
+        assert [r.set_id for r in results] == [0]
+
+    def test_discover_with_external_references(self):
+        collection = SetCollection.from_strings([["a b"], ["c d"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.9))
+        references = engine.reference_collection([["a b"], ["zz"]])
+        pairs = engine.discover(references)
+        assert [(p.reference_id, p.set_id) for p in pairs] == [(0, 0)]

@@ -1,0 +1,43 @@
+"""Every example script must run cleanly against the public API.
+
+Examples are the documentation users copy from, so a broken example is
+a documentation bug; this module executes each one in a subprocess.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart_exists():
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+def test_examples_have_docstrings():
+    for script in EXAMPLES:
+        source = script.read_text()
+        assert source.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+        assert "Run:" in source, f"{script.name} docstring lacks a Run: line"

@@ -1,0 +1,198 @@
+"""Exhaustive and random schemes: optimality, validity, exactness."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_discover
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.signatures import (
+    ExhaustiveScheme,
+    RandomScheme,
+    WeightedScheme,
+    signature_cost,
+)
+
+
+def _random_sets(rng, n_sets, vocab_size=10):
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    sets = []
+    for _ in range(n_sets):
+        elements = [
+            " ".join(rng.sample(vocab, rng.randint(1, 4)))
+            for _ in range(rng.randint(1, 3))
+        ]
+        sets.append(elements)
+    return sets
+
+
+def _residual_under_theta(signature, reference, phi, theta):
+    """The weighted scheme's validity condition on a built signature."""
+    from repro.signatures.weights import weights_for
+
+    weights = weights_for(reference, phi)
+    residual = 0.0
+    for i, tokens in enumerate(signature.per_element):
+        residual += weights[i].bound(len(tokens))
+    return residual < theta + 1e-9
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(77)
+    sets = _random_sets(rng, 20)
+    collection = SetCollection.from_strings(sets)
+    return collection, InvertedIndex(collection)
+
+
+class TestExhaustiveOptimality:
+    def test_never_worse_than_greedy(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        exhaustive = ExhaustiveScheme()
+        greedy = WeightedScheme()
+        for reference in collection:
+            theta = 0.7 * len(reference)
+            opt = exhaustive.generate(reference, theta, phi, index)
+            base = greedy.generate(reference, theta, phi, index)
+            if base is None:
+                assert opt is None
+                continue
+            assert opt is not None
+            assert signature_cost(opt, index) <= signature_cost(base, index)
+
+    def test_optimal_is_valid(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        scheme = ExhaustiveScheme()
+        for reference in collection:
+            theta = 0.6 * len(reference)
+            signature = scheme.generate(reference, theta, phi, index)
+            if signature is not None:
+                assert _residual_under_theta(signature, reference, phi, theta)
+
+    def test_matches_brute_force_enumeration_on_tiny_sets(self):
+        # Independent oracle: enumerate every token subset and take the
+        # cheapest valid one; branch and bound must agree on the cost.
+        from itertools import combinations
+
+        from repro.signatures.weights import weights_for
+
+        rng = random.Random(5)
+        sets = _random_sets(rng, 8, vocab_size=6)
+        collection = SetCollection.from_strings(sets)
+        index = InvertedIndex(collection)
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        scheme = ExhaustiveScheme()
+
+        for reference in collection:
+            theta = 0.7 * len(reference)
+            weights = weights_for(reference, phi)
+            universe = sorted(reference.token_universe)
+            if len(universe) > 10:
+                continue
+            occurrences = {
+                token: [
+                    i
+                    for i, element in enumerate(reference.elements)
+                    if token in element.signature_tokens
+                ]
+                for token in universe
+            }
+            best = None
+            for size in range(len(universe) + 1):
+                for combo in combinations(universe, size):
+                    counts = [0] * len(reference)
+                    for token in combo:
+                        for i in occurrences[token]:
+                            counts[i] += 1
+                    residual = sum(
+                        weights[i].bound(counts[i]) for i in range(len(reference))
+                    )
+                    if residual < theta:
+                        cost = sum(index.list_length(t) for t in combo)
+                        if best is None or cost < best:
+                            best = cost
+                if best is not None:
+                    # Larger subsets can still be cheaper only if token
+                    # costs were zero; keep scanning all sizes to be safe.
+                    pass
+            got = scheme.generate(reference, theta, phi, index)
+            if best is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert signature_cost(got, index) == best
+
+    def test_falls_back_beyond_token_cap(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        scheme = ExhaustiveScheme(max_tokens=1)
+        reference = max(collection, key=lambda r: len(r.token_universe))
+        signature = scheme.generate(reference, 0.7 * len(reference), phi, index)
+        # Falls back to greedy but still yields a usable signature.
+        assert signature is not None
+        assert signature.scheme == "exhaustive"
+
+
+class TestRandomScheme:
+    def test_valid_signature(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        scheme = RandomScheme(seed=3)
+        for reference in collection:
+            theta = 0.7 * len(reference)
+            signature = scheme.generate(reference, theta, phi, index)
+            if signature is not None:
+                assert _residual_under_theta(signature, reference, phi, theta)
+
+    def test_deterministic_per_seed(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        reference = collection[0]
+        theta = 0.7 * len(reference)
+        a = RandomScheme(seed=1).generate(reference, theta, phi, index)
+        b = RandomScheme(seed=1).generate(reference, theta, phi, index)
+        assert a.tokens == b.tokens
+
+    def test_usually_costlier_than_greedy(self, corpus):
+        collection, index = corpus
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        greedy = WeightedScheme()
+        rand = RandomScheme(seed=9)
+        worse_or_equal = 0
+        total = 0
+        for reference in collection:
+            theta = 0.7 * len(reference)
+            g = greedy.generate(reference, theta, phi, index)
+            r = rand.generate(reference, theta, phi, index)
+            if g is None or r is None:
+                continue
+            total += 1
+            if signature_cost(r, index) >= signature_cost(g, index):
+                worse_or_equal += 1
+        assert total > 0
+        # Random should essentially never beat the greedy.
+        assert worse_or_equal >= total * 0.8
+
+
+class TestEngineExactnessWithAblationSchemes:
+    @pytest.mark.parametrize("scheme", ["exhaustive", "random"])
+    def test_discovery_exact(self, scheme):
+        rng = random.Random(44)
+        sets = _random_sets(rng, 18)
+        collection = SetCollection.from_strings(sets)
+        config = SilkMothConfig(
+            metric=Relatedness.SIMILARITY, delta=0.6, scheme=scheme
+        )
+        engine = SilkMoth(collection, config)
+        got = sorted((p.reference_id, p.set_id) for p in engine.discover())
+        expected = sorted(
+            (p.reference_id, p.set_id)
+            for p in brute_force_discover(collection, config)
+        )
+        assert got == expected

@@ -1,0 +1,170 @@
+"""Property tests: no pipeline stage may drop a truly related candidate.
+
+Exactness tests compare end-to-end output against brute force; these
+tests pin the *per-stage* invariant instead -- for every truly related
+pair, the candidate must (a) share a signature token, (b) pass the
+check filter's estimate, and (c) pass the NN filter.  When one of these
+fails, the exactness tests only show "a result is missing"; these show
+exactly which stage broke its contract.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import EPSILON, SilkMoth, relatedness_value
+from repro.core.records import SetCollection
+from repro.filters.check import select_and_check
+from repro.filters.nearest_neighbor import nearest_neighbor_filter
+from repro.matching.score import matching_score
+from repro.sim.functions import SimilarityKind
+from repro.signatures import SCHEME_NAMES
+
+KINDS = [
+    SimilarityKind.JACCARD,
+    SimilarityKind.DICE,
+    SimilarityKind.COSINE,
+]
+
+
+def _corpus(seed: int, kind: SimilarityKind, n_sets: int = 14):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(9)]
+    sets = []
+    for _ in range(n_sets):
+        sets.append(
+            [
+                " ".join(rng.sample(vocab, rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 4))
+            ]
+        )
+    for i in range(0, n_sets - 1, 3):
+        sets[i + 1] = list(sets[i])
+    return SetCollection.from_strings(sets, kind=kind)
+
+
+def _truly_related(engine, reference):
+    """Brute-force ground truth for one reference."""
+    related = []
+    for candidate in engine.collection:
+        if candidate.set_id == reference.set_id:
+            continue
+        score = matching_score(reference, candidate, engine.phi)
+        value = relatedness_value(
+            engine.config.metric, score, len(reference), len(candidate)
+        )
+        if value >= engine.config.delta - EPSILON:
+            related.append(candidate.set_id)
+    return related
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    kind=st.sampled_from(KINDS),
+    scheme=st.sampled_from(sorted(SCHEME_NAMES)),
+    delta=st.sampled_from([0.5, 0.7]),
+    alpha=st.sampled_from([0.0, 0.4]),
+)
+def test_every_stage_keeps_true_results(seed, kind, scheme, delta, alpha):
+    collection = _corpus(seed, kind)
+    config = SilkMothConfig(
+        metric=Relatedness.SIMILARITY,
+        similarity=kind,
+        delta=delta,
+        alpha=alpha,
+        scheme=scheme,
+    )
+    engine = SilkMoth(collection, config)
+
+    for reference in collection:
+        truly = set(_truly_related(engine, reference))
+        if not truly:
+            continue
+        theta = delta * len(reference)
+        signature = engine.scheme.generate(
+            reference, theta - EPSILON, engine.phi, engine.index
+        )
+        if signature is None:
+            continue  # full-scan mode keeps everything by construction
+
+        # Stage 1+2: candidate selection with the check filter applied.
+        infos = select_and_check(
+            reference,
+            signature,
+            engine.index,
+            engine.phi,
+            theta - EPSILON,
+            collection,
+            apply_check=True,
+            skip_set=reference.set_id,
+        )
+        surviving = {info.set_id for info in infos}
+        assert truly <= surviving, (
+            f"check filter dropped {truly - surviving} "
+            f"(scheme={scheme}, kind={kind}, delta={delta}, alpha={alpha})"
+        )
+
+        # Stage 3: the NN filter on top.
+        refined = nearest_neighbor_filter(
+            reference,
+            infos,
+            signature.element_bounds,
+            theta - EPSILON,
+            engine.index,
+            engine.phi,
+            collection,
+            q=config.effective_q,
+        )
+        surviving_nn = {info.set_id for info in refined}
+        assert truly <= surviving_nn, (
+            f"NN filter dropped {truly - surviving_nn} "
+            f"(scheme={scheme}, kind={kind}, delta={delta}, alpha={alpha})"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    delta=st.sampled_from([0.6, 0.8]),
+)
+def test_containment_stages_keep_true_results(seed, delta):
+    collection = _corpus(seed, SimilarityKind.JACCARD)
+    config = SilkMothConfig(
+        metric=Relatedness.CONTAINMENT, delta=delta, scheme="dichotomy"
+    )
+    engine = SilkMoth(collection, config)
+    for reference in collection:
+        truly = set(_truly_related(engine, reference))
+        got = {
+            r.set_id for r in engine.search(reference, skip_set=reference.set_id)
+        }
+        assert got == truly
+
+
+class TestFilterMonotonicity:
+    """More filters on => never more verified candidates, same matches."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_funnel_is_monotone(self, kind):
+        collection = _corpus(3, kind, n_sets=20)
+        base = dict(
+            metric=Relatedness.SIMILARITY, similarity=kind, delta=0.6
+        )
+        configs = [
+            SilkMothConfig(**base, check_filter=False, nn_filter=False),
+            SilkMothConfig(**base, check_filter=True, nn_filter=False),
+            SilkMothConfig(**base, check_filter=True, nn_filter=True),
+        ]
+        verified = []
+        matches = []
+        for config in configs:
+            engine = SilkMoth(collection, config)
+            results = engine.discover()
+            verified.append(engine.stats.verified)
+            matches.append(sorted((r.reference_id, r.set_id) for r in results))
+        assert verified[0] >= verified[1] >= verified[2]
+        assert matches[0] == matches[1] == matches[2]

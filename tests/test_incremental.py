@@ -1,0 +1,84 @@
+"""Incremental ingestion: engine.add_set must equal a fresh rebuild."""
+
+import random
+
+import pytest
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+
+
+def _random_sets(rng, n_sets, vocab_size=10):
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    sets = []
+    for _ in range(n_sets):
+        sets.append(
+            [
+                " ".join(rng.sample(vocab, rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 4))
+            ]
+        )
+    return sets
+
+
+def _pairs(engine):
+    return sorted((r.reference_id, r.set_id) for r in engine.discover())
+
+
+class TestIncrementalIngestion:
+    def test_add_then_search_equals_rebuild(self):
+        rng = random.Random(61)
+        initial = _random_sets(rng, 12)
+        extra = _random_sets(rng, 6)
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.5)
+
+        incremental = SilkMoth(SetCollection.from_strings(initial), config)
+        for elements in extra:
+            incremental.add_set(elements)
+
+        rebuilt = SilkMoth(SetCollection.from_strings(initial + extra), config)
+        assert _pairs(incremental) == _pairs(rebuilt)
+
+    def test_new_set_is_immediately_searchable(self):
+        config = SilkMothConfig(delta=0.6)
+        engine = SilkMoth(SetCollection.from_strings([["a b c"]]), config)
+        record = engine.add_set(["a b c"])
+        results = engine.search(engine.collection[0], skip_set=0)
+        assert [r.set_id for r in results] == [record.set_id]
+
+    def test_add_set_returns_record_with_next_id(self):
+        config = SilkMothConfig(delta=0.6)
+        engine = SilkMoth(SetCollection.from_strings([["a"], ["b"]]), config)
+        record = engine.add_set(["c"])
+        assert record.set_id == 2
+        assert len(engine.collection) == 3
+
+    def test_index_postings_stay_sorted(self):
+        rng = random.Random(62)
+        config = SilkMothConfig(delta=0.6)
+        engine = SilkMoth(
+            SetCollection.from_strings(_random_sets(rng, 8)), config
+        )
+        for elements in _random_sets(rng, 8):
+            engine.add_set(elements)
+        for token in range(len(engine.collection.vocabulary)):
+            postings = engine.index.postings(token)
+            assert postings == sorted(postings)
+
+    def test_incremental_matches_brute_force(self):
+        from repro.baselines.brute_force import brute_force_discover
+
+        rng = random.Random(63)
+        config = SilkMothConfig(delta=0.5)
+        engine = SilkMoth(
+            SetCollection.from_strings(_random_sets(rng, 10)), config
+        )
+        for elements in _random_sets(rng, 10):
+            engine.add_set(elements)
+        got = _pairs(engine)
+        expected = sorted(
+            (r.reference_id, r.set_id)
+            for r in brute_force_discover(engine.collection, config)
+        )
+        assert got == expected

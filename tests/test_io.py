@@ -1,0 +1,258 @@
+"""IO round-trips: loaders for the three application mappings, writers/readers."""
+
+import json
+
+import pytest
+
+from repro.core.engine import DiscoveryResult, SearchResult
+from repro.io import (
+    load_csv_columns,
+    load_csv_schema,
+    load_jsonl_sets,
+    load_string_sets,
+    read_discovery_csv,
+    read_discovery_json,
+    read_search_csv,
+    read_search_json,
+    sets_from_iterable,
+    write_discovery_csv,
+    write_discovery_json,
+    write_search_csv,
+    write_search_json,
+)
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "table.csv"
+    path.write_text(
+        "city,zip,population\n"
+        "Boston,02115,650000\n"
+        "Seattle,98101,750000\n"
+        "Chicago,60601,2700000\n"
+        "Boston,02116,\n"
+    )
+    return path
+
+
+class TestLoadStringSets:
+    def test_lines_become_word_sets(self, tmp_path):
+        path = tmp_path / "titles.txt"
+        path.write_text("Database System Concepts\n\nSilkMoth Related Sets\n")
+        sets = load_string_sets(path)
+        assert sets == [
+            ["Database", "System", "Concepts"],
+            ["SilkMoth", "Related", "Sets"],
+        ]
+
+    def test_blank_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n")
+        assert load_string_sets(path) == []
+
+
+class TestLoadJsonlSets:
+    def test_valid_lines(self, tmp_path):
+        path = tmp_path / "sets.jsonl"
+        path.write_text('["a b", "c"]\n\n["d"]\n')
+        assert load_jsonl_sets(path) == [["a b", "c"], ["d"]]
+
+    def test_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(ValueError, match="expected a JSON array"):
+            load_jsonl_sets(path)
+
+    def test_rejects_non_string_elements(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="elements must be strings"):
+            load_jsonl_sets(path)
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad3.jsonl"
+        path.write_text("[not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_jsonl_sets(path)
+
+
+class TestLoadCsvColumns:
+    def test_basic_columns(self, csv_file):
+        columns = load_csv_columns(csv_file, skip_numeric=False)
+        assert set(columns) == {"city", "zip", "population"}
+        assert columns["city"] == ["Boston", "Seattle", "Chicago", "Boston"]
+
+    def test_skip_numeric_drops_all_number_columns(self, csv_file):
+        columns = load_csv_columns(csv_file, skip_numeric=True)
+        assert "population" not in columns
+        # zip values are numeric strings too.
+        assert "zip" not in columns
+        assert "city" in columns
+
+    def test_min_distinct(self, csv_file):
+        columns = load_csv_columns(csv_file, skip_numeric=False, min_distinct=4)
+        # city has 3 distinct values, zip 4, population 3 (empty dropped).
+        assert "zip" in columns
+        assert "city" not in columns
+
+    def test_column_selection(self, csv_file):
+        columns = load_csv_columns(
+            csv_file, columns=["city"], skip_numeric=False
+        )
+        assert list(columns) == ["city"]
+
+    def test_duplicate_headers_get_suffixes(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("name,name\nalpha,beta\n")
+        columns = load_csv_columns(path)
+        assert set(columns) == {"name", "name#2"}
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert load_csv_columns(path) == {}
+
+    def test_empty_cells_dropped(self, csv_file):
+        columns = load_csv_columns(csv_file, skip_numeric=False)
+        assert len(columns["population"]) == 3
+
+
+class TestLoadCsvSchema:
+    def test_one_element_per_attribute(self, csv_file):
+        elements = load_csv_schema(csv_file)
+        assert len(elements) == 3
+        assert elements[0] == "Boston Seattle Chicago Boston"
+
+    def test_sample_rows(self, csv_file):
+        elements = load_csv_schema(csv_file, sample_rows=1)
+        assert elements[0] == "Boston"
+
+
+class TestSetsFromIterable:
+    def test_normalises(self):
+        assert sets_from_iterable([("a",), ["b", "c"]]) == [["a"], ["b", "c"]]
+
+
+DISCOVERY = [
+    DiscoveryResult(reference_id=0, set_id=3, score=2.25, relatedness=0.75),
+    DiscoveryResult(reference_id=1, set_id=2, score=1.5, relatedness=0.5),
+]
+SEARCH = [
+    SearchResult(set_id=3, score=2.25, relatedness=0.75),
+    SearchResult(set_id=7, score=3.0, relatedness=1.0),
+]
+
+
+class TestWriterRoundTrips:
+    def test_discovery_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        assert write_discovery_csv(path, DISCOVERY) == 2
+        assert read_discovery_csv(path) == DISCOVERY
+
+    def test_discovery_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert write_discovery_json(path, DISCOVERY) == 2
+        assert read_discovery_json(path) == DISCOVERY
+
+    def test_search_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        assert write_search_csv(path, SEARCH) == 2
+        assert read_search_csv(path) == SEARCH
+
+    def test_search_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert write_search_json(path, SEARCH) == 2
+        assert read_search_json(path) == SEARCH
+
+    def test_csv_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="expected header"):
+            read_discovery_csv(path)
+        with pytest.raises(ValueError, match="expected header"):
+            read_search_csv(path)
+
+    def test_json_is_valid_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_discovery_json(path, DISCOVERY)
+        payload = json.loads(path.read_text())
+        assert payload[0]["reference_id"] == 0
+
+    def test_empty_results(self, tmp_path):
+        path = tmp_path / "none.csv"
+        assert write_discovery_csv(path, []) == 0
+        assert read_discovery_csv(path) == []
+
+
+class TestCollectionSnapshots:
+    def test_round_trip(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_collection, save_collection
+
+        original = SetCollection.from_strings(
+            [["77 Mass Ave Boston MA"], ["5th St Seattle WA", "Chicago IL"]]
+        )
+        path = tmp_path / "snapshot.json"
+        save_collection(path, original)
+        loaded = load_collection(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(loaded, original):
+            assert [e.text for e in a.elements] == [e.text for e in b.elements]
+            assert [e.index_tokens for e in a.elements] == [
+                e.index_tokens for e in b.elements
+            ]
+
+    def test_round_trip_edit_kind(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_collection, save_collection
+        from repro.sim.functions import SimilarityKind
+
+        original = SetCollection.from_strings(
+            [["silkmoth"], ["matching"]], kind=SimilarityKind.EDS, q=3
+        )
+        path = tmp_path / "snapshot.json"
+        save_collection(path, original)
+        loaded = load_collection(path)
+        assert loaded.tokenizer.kind is SimilarityKind.EDS
+        assert loaded.tokenizer.q == 3
+
+    def test_rejects_foreign_json(self, tmp_path):
+        from repro.io import load_collection
+
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="not a silkmoth-collection"):
+            load_collection(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        from repro.io import load_collection
+
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format": "silkmoth-collection", "version": 99, '
+            '"similarity": "jaccard", "q": 1, "sets": []}'
+        )
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            load_collection(path)
+
+    def test_search_results_identical_after_reload(self, tmp_path):
+        from repro.core.config import SilkMothConfig
+        from repro.core.engine import SilkMoth
+        from repro.core.records import SetCollection
+        from repro.io import load_collection, save_collection
+
+        sets = [
+            ["a b c", "d e"],
+            ["a b c", "d f"],
+            ["x y z"],
+        ]
+        original = SetCollection.from_strings(sets)
+        path = tmp_path / "snap.json"
+        save_collection(path, original)
+        loaded = load_collection(path)
+        config = SilkMothConfig(delta=0.5)
+        first = SilkMoth(original, config).discover()
+        second = SilkMoth(loaded, config).discover()
+        assert [(r.reference_id, r.set_id) for r in first] == [
+            (r.reference_id, r.set_id) for r in second
+        ]

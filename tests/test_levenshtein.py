@@ -1,0 +1,91 @@
+"""Unit tests for the Levenshtein implementations."""
+
+import pytest
+
+from repro.sim.levenshtein import levenshtein, levenshtein_within
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_both(self):
+        assert levenshtein("", "") == 0
+
+    def test_empty_one_side(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "cut") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein("cat", "cart") == 1
+
+    def test_single_deletion(self):
+        assert levenshtein("cart", "cat") == 1
+
+    def test_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein("sunday", "saturday") == levenshtein("saturday", "sunday")
+
+    def test_completely_different(self):
+        assert levenshtein("abc", "xyz") == 3
+
+    def test_paper_example(self):
+        # Section 2.1: LD("50 Vassar St MA", "50 Vassar Street MA") = 4.
+        assert levenshtein("50 Vassar St MA", "50 Vassar Street MA") == 4
+
+    def test_prefix(self):
+        assert levenshtein("abc", "abcdef") == 3
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein has no transposition operation.
+        assert levenshtein("ab", "ba") == 2
+
+    def test_unicode(self):
+        assert levenshtein("café", "cafe") == 1
+
+
+class TestLevenshteinWithin:
+    @pytest.mark.parametrize(
+        "x,y",
+        [
+            ("", ""),
+            ("a", ""),
+            ("kitten", "sitting"),
+            ("sunday", "saturday"),
+            ("abcdef", "abcdef"),
+            ("abc", "xyz"),
+            ("50 Vassar St MA", "50 Vassar Street MA"),
+        ],
+    )
+    def test_matches_exact_when_bound_large(self, x, y):
+        exact = levenshtein(x, y)
+        assert levenshtein_within(x, y, 100) == exact
+
+    def test_exceeding_bound_reports_bound_plus_one(self):
+        assert levenshtein_within("abc", "xyz", 1) == 2
+
+    def test_bound_equal_to_distance(self):
+        assert levenshtein_within("kitten", "sitting", 3) == 3
+
+    def test_bound_one_below_distance(self):
+        assert levenshtein_within("kitten", "sitting", 2) == 3
+
+    def test_length_difference_shortcut(self):
+        assert levenshtein_within("a", "abcdefg", 3) == 4
+
+    def test_negative_bound_identical(self):
+        assert levenshtein_within("same", "same", -1) == 0
+
+    def test_negative_bound_different(self):
+        # A differing pair with bound -1 reports bound + 1 = 0, signalling
+        # "exceeds the bound" (callers compare against the bound).
+        assert levenshtein_within("a", "b", -1) == 0
+
+    def test_zero_bound(self):
+        assert levenshtein_within("same", "same", 0) == 0
+        assert levenshtein_within("same", "sane", 0) == 1

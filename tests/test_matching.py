@@ -1,0 +1,175 @@
+"""Unit and property tests for the Hungarian matcher and the reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SetCollection
+from repro.matching.hungarian import hungarian_max_weight, scipy_max_weight
+from repro.matching.reduction import reduced_matching_score
+from repro.matching.score import build_weight_matrix, matching_score
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+
+
+class TestHungarian:
+    def test_empty(self):
+        assert hungarian_max_weight(np.zeros((0, 3))) == 0.0
+        assert hungarian_max_weight(np.zeros((3, 0))) == 0.0
+
+    def test_single_cell(self):
+        assert hungarian_max_weight(np.array([[0.7]])) == pytest.approx(0.7)
+
+    def test_square_identity(self):
+        w = np.eye(3)
+        assert hungarian_max_weight(w) == pytest.approx(3.0)
+
+    def test_must_choose_off_diagonal(self):
+        w = np.array([[0.9, 1.0], [1.0, 0.9]])
+        assert hungarian_max_weight(w) == pytest.approx(2.0)
+
+    def test_greedy_is_suboptimal(self):
+        # Greedy would take 1.0 then 0.0; optimal is 0.9 + 0.8.
+        w = np.array([[1.0, 0.9], [0.8, 0.0]])
+        assert hungarian_max_weight(w) == pytest.approx(1.7)
+
+    def test_rectangular_wide(self):
+        w = np.array([[0.2, 0.9, 0.1]])
+        assert hungarian_max_weight(w) == pytest.approx(0.9)
+
+    def test_rectangular_tall(self):
+        w = np.array([[0.2], [0.9], [0.1]])
+        assert hungarian_max_weight(w) == pytest.approx(0.9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hungarian_max_weight(np.array([[-0.1]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            hungarian_max_weight(np.array([1.0, 2.0]))
+
+    def test_paper_example2_score(self):
+        # Example 2: |R ~cap~ S4| = 0.8 + 1 + 0.429 = 2.229 (approx).
+        w = np.array(
+            [
+                [0.8, 0.0, 2 / 8],
+                [0.0, 1.0, 3 / 7],
+                [1 / 8, 3 / 7, 3 / 7],
+            ]
+        )
+        assert hungarian_max_weight(w) == pytest.approx(0.8 + 1.0 + 3 / 7)
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_on_random_matrices(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.random((n, m))
+        assert hungarian_max_weight(w) == pytest.approx(scipy_max_weight(w))
+
+    def test_duplicate_weights(self):
+        w = np.full((4, 4), 0.5)
+        assert hungarian_max_weight(w) == pytest.approx(2.0)
+
+
+def _jaccard_sets(*sets):
+    return SetCollection.from_strings(list(sets))
+
+
+class TestMatchingScore:
+    def test_identical_sets(self):
+        collection = _jaccard_sets(["a b", "c d"], ["a b", "c d"])
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        assert matching_score(collection[0], collection[1], phi) == pytest.approx(2.0)
+
+    def test_disjoint_sets(self):
+        collection = _jaccard_sets(["a b"], ["x y"])
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        assert matching_score(collection[0], collection[1], phi) == 0.0
+
+    def test_weight_matrix_edit(self):
+        collection = SetCollection.from_strings(
+            [["cat"], ["cut"]], kind=SimilarityKind.NEDS, q=2
+        )
+        phi = SimilarityFunction(SimilarityKind.NEDS)
+        w = build_weight_matrix(collection[0], collection[1], phi)
+        assert w[0, 0] == pytest.approx(2 / 3)
+
+    def test_alpha_zeroes_weak_edges(self):
+        collection = _jaccard_sets(["a b c d"], ["a x y z"])
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.5)
+        assert matching_score(collection[0], collection[1], phi) == 0.0
+
+
+class TestReduction:
+    def _phi(self):
+        return SimilarityFunction(SimilarityKind.JACCARD)
+
+    def test_identical_elements_matched_directly(self):
+        collection = _jaccard_sets(["a b", "c d", "e f"], ["a b", "c d", "x y"])
+        assert reduced_matching_score(
+            collection[0], collection[1], self._phi()
+        ) == pytest.approx(2.0)
+
+    def test_agrees_with_plain_matching(self):
+        collection = _jaccard_sets(
+            ["a b c", "c d", "e f", "a b"],
+            ["a b", "c d e", "e f", "g h"],
+        )
+        phi = self._phi()
+        assert reduced_matching_score(
+            collection[0], collection[1], phi
+        ) == pytest.approx(matching_score(collection[0], collection[1], phi))
+
+    def test_duplicate_elements_multiset_semantics(self):
+        # Two copies of "a b" on one side, one on the other: only one
+        # identical pair can be matched greedily.
+        collection = _jaccard_sets(["a b", "a b"], ["a b", "x y"])
+        phi = self._phi()
+        assert reduced_matching_score(
+            collection[0], collection[1], phi
+        ) == pytest.approx(matching_score(collection[0], collection[1], phi))
+
+    def test_rejects_alpha(self):
+        collection = _jaccard_sets(["a"], ["a"])
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.5)
+        with pytest.raises(ValueError):
+            reduced_matching_score(collection[0], collection[1], phi)
+
+    def test_edit_kind_identity_by_string(self):
+        collection = SetCollection.from_strings(
+            [["abc", "def"], ["abc", "xyz"]], kind=SimilarityKind.EDS, q=2
+        )
+        phi = SimilarityFunction(SimilarityKind.EDS)
+        assert reduced_matching_score(
+            collection[0], collection[1], phi
+        ) == pytest.approx(matching_score(collection[0], collection[1], phi))
+
+    def test_empty_sides(self):
+        collection = _jaccard_sets([], ["a"])
+        phi = self._phi()
+        assert reduced_matching_score(collection[0], collection[1], phi) == 0.0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_equals_plain_on_random_sets(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        vocab = ["a", "b", "c", "d", "e"]
+
+        def random_set():
+            return [
+                " ".join(rng.sample(vocab, rng.randint(1, 3)))
+                for _ in range(rng.randint(1, 5))
+            ]
+
+        collection = _jaccard_sets(random_set(), random_set())
+        phi = self._phi()
+        assert reduced_matching_score(
+            collection[0], collection[1], phi
+        ) == pytest.approx(matching_score(collection[0], collection[1], phi))

@@ -1,0 +1,115 @@
+"""Partitioned discovery must equal in-memory discovery exactly."""
+
+import random
+
+import pytest
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.partitioned import iter_partitions, partitioned_discover
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+
+
+def _random_sets(rng, n_sets, vocab_size=10):
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    sets = []
+    for _ in range(n_sets):
+        sets.append(
+            [
+                " ".join(rng.sample(vocab, rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 4))
+            ]
+        )
+    for i in range(0, n_sets - 1, 3):
+        sets[i + 1] = list(sets[i])
+    return sets
+
+
+def _serial(sets, config, reference_sets=None):
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    engine = SilkMoth(collection, config)
+    if reference_sets is None:
+        return engine.discover()
+    references = engine.reference_collection(reference_sets)
+    return engine.discover(references)
+
+
+def _keys(results):
+    return [(r.reference_id, r.set_id, round(r.score, 9)) for r in results]
+
+
+class TestIterPartitions:
+    def test_covers_everything_in_order(self):
+        sets = [[str(i)] for i in range(10)]
+        chunks = list(iter_partitions(sets, 3))
+        assert [offset for offset, _ in chunks] == [0, 3, 6, 9]
+        rebuilt = [s for _, chunk in chunks for s in chunk]
+        assert rebuilt == sets
+
+    def test_exact_division(self):
+        sets = [[str(i)] for i in range(6)]
+        chunks = list(iter_partitions(sets, 3))
+        assert len(chunks) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iter_partitions([["a"]], 0))
+
+
+class TestPartitionedEqualsInMemory:
+    @pytest.mark.parametrize("partition_size", [1, 3, 7, 100])
+    def test_self_discovery_similarity(self, partition_size):
+        rng = random.Random(81)
+        sets = _random_sets(rng, 21)
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.6)
+        expected = _serial(sets, config)
+        got = partitioned_discover(sets, config, partition_size=partition_size)
+        assert _keys(got) == _keys(expected)
+
+    @pytest.mark.parametrize("partition_size", [2, 5])
+    def test_self_discovery_containment(self, partition_size):
+        rng = random.Random(82)
+        sets = _random_sets(rng, 18)
+        config = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.7)
+        expected = _serial(sets, config)
+        got = partitioned_discover(sets, config, partition_size=partition_size)
+        assert _keys(got) == _keys(expected)
+
+    def test_cross_collection(self):
+        rng = random.Random(83)
+        sets = _random_sets(rng, 16)
+        references = _random_sets(rng, 5)
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.5)
+        expected = _serial(sets, config, references)
+        got = partitioned_discover(
+            sets, config, partition_size=4, reference_sets=references
+        )
+        assert _keys(got) == _keys(expected)
+
+    def test_edit_similarity(self):
+        rng = random.Random(84)
+        words = ["matching", "signature", "filtering"]
+        sets = [
+            [rng.choice(words) for _ in range(rng.randint(1, 3))]
+            for _ in range(12)
+        ]
+        config = SilkMothConfig(
+            similarity=SimilarityKind.EDS, delta=0.7, alpha=0.8
+        )
+        expected = _serial(sets, config)
+        got = partitioned_discover(sets, config, partition_size=5)
+        assert _keys(got) == _keys(expected)
+
+    def test_default_partition_size(self):
+        rng = random.Random(85)
+        sets = _random_sets(rng, 20)
+        config = SilkMothConfig(delta=0.6)
+        expected = _serial(sets, config)
+        got = partitioned_discover(sets, config)
+        assert _keys(got) == _keys(expected)
+
+    def test_empty_input(self):
+        assert partitioned_discover([], SilkMothConfig(delta=0.7)) == []

@@ -1,0 +1,103 @@
+"""Unit tests for the data model and the inverted index."""
+
+import pytest
+
+from repro.core.records import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.sim.functions import SimilarityKind
+
+
+@pytest.fixture
+def jaccard_collection():
+    return SetCollection.from_strings(
+        [
+            ["a b c", "c d"],
+            ["b c", "e f g"],
+            ["a", "h"],
+        ]
+    )
+
+
+class TestSetCollection:
+    def test_lengths(self, jaccard_collection):
+        assert len(jaccard_collection) == 3
+        assert len(jaccard_collection[0]) == 2
+
+    def test_set_ids_match_positions(self, jaccard_collection):
+        for i, record in enumerate(jaccard_collection):
+            assert record.set_id == i
+
+    def test_element_length_is_distinct_word_count(self):
+        collection = SetCollection.from_strings([["a b a"]])
+        assert collection[0].elements[0].length == 2
+
+    def test_edit_element_length_is_string_length(self):
+        collection = SetCollection.from_strings(
+            [["abc"]], kind=SimilarityKind.EDS, q=2
+        )
+        assert collection[0].elements[0].length == 3
+
+    def test_edit_signature_tokens_subset_of_index_tokens(self):
+        collection = SetCollection.from_strings(
+            [["silkmoth", "related sets"]], kind=SimilarityKind.EDS, q=3
+        )
+        for element in collection[0].elements:
+            assert element.signature_tokens <= element.index_tokens
+
+    def test_token_universe(self, jaccard_collection):
+        vocab = jaccard_collection.vocabulary
+        universe = jaccard_collection[0].token_universe
+        assert {vocab.token_of(t) for t in universe} == {"a", "b", "c", "d"}
+
+    def test_sibling_shares_vocabulary(self, jaccard_collection):
+        sibling = jaccard_collection.sibling()
+        sibling.add_set(["a b", "z"])
+        # "a" resolves to the same id; "z" gets a fresh one.
+        assert sibling.vocabulary is jaccard_collection.vocabulary
+        a_id = jaccard_collection.vocabulary.id_of("a")
+        assert a_id in sibling[0].elements[0].index_tokens
+
+    def test_empty_element(self):
+        collection = SetCollection.from_strings([[""]])
+        assert collection[0].elements[0].length == 0
+        assert collection[0].elements[0].index_tokens == frozenset()
+
+
+class TestInvertedIndex:
+    def test_postings_sorted_by_set(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        vocab = jaccard_collection.vocabulary
+        postings = index.postings(vocab.id_of("c"))
+        assert [p.set_id for p in postings] == sorted(p.set_id for p in postings)
+
+    def test_list_length(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        vocab = jaccard_collection.vocabulary
+        # "c" occurs in set0 (two elements) and set1 (one element).
+        assert index.list_length(vocab.id_of("c")) == 3
+
+    def test_unknown_token(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        assert index.postings(10**6) == []
+        assert index.list_length(10**6) == 0
+
+    def test_elements_in_set(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        vocab = jaccard_collection.vocabulary
+        c = vocab.id_of("c")
+        assert tuple(index.elements_in_set(c, 0)) == (0, 1)
+        assert tuple(index.elements_in_set(c, 1)) == (0,)
+        assert tuple(index.elements_in_set(c, 2)) == ()
+
+    def test_total_postings(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        # set0: a,b,c + c,d -> 5; set1: b,c + e,f,g -> 5; set2: a + h -> 2.
+        assert index.total_postings() == 12
+
+    def test_edit_index_contains_padded_grams(self):
+        collection = SetCollection.from_strings(
+            [["ab"]], kind=SimilarityKind.EDS, q=3
+        )
+        index = InvertedIndex(collection)
+        # "ab" padded to "ab##" (two pad chars) yields grams "ab#", "b##".
+        assert index.total_postings() == 2

@@ -1,0 +1,297 @@
+"""Unit and property tests for the signature schemes (Sections 4 and 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.matching.score import matching_score
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.signatures import SCHEME_NAMES, get_scheme
+from repro.signatures.weights import NO_BUDGET, ElementWeights
+
+
+def _table2():
+    """The paper's running example (Table 2), tokens t1..t12 -> a..l."""
+    t = {i: chr(96 + i) for i in range(1, 13)}
+
+    def el(*ids):
+        return " ".join(t[i] for i in ids)
+
+    R = [el(1, 2, 3, 6, 8), el(4, 5, 7, 9, 10), el(1, 4, 5, 11, 12)]
+    S = [
+        [el(2, 3, 5, 6, 7), el(1, 2, 4, 5, 6), el(1, 2, 3, 4, 7)],
+        [el(1, 6, 8), el(1, 4, 5, 6, 7), el(1, 2, 3, 7, 9)],
+        [el(1, 2, 3, 4, 6, 8), el(2, 3, 11, 12), el(1, 2, 3, 5)],
+        [el(1, 2, 3, 8), el(4, 5, 7, 9, 10), el(1, 4, 5, 6, 9)],
+    ]
+    collection = SetCollection.from_strings(S)
+    reference = collection.sibling().add_set(R)
+    return reference, collection
+
+
+class TestElementWeights:
+    def test_jaccard_bound(self):
+        w = ElementWeights(SimilarityKind.JACCARD, length=5, n_tokens=5, budget=NO_BUDGET)
+        assert w.bound(0) == 1.0
+        assert w.bound(1) == pytest.approx(0.8)
+        assert w.bound(5) == 0.0
+
+    def test_edit_bound(self):
+        w = ElementWeights(SimilarityKind.EDS, length=10, n_tokens=4, budget=NO_BUDGET)
+        assert w.bound(0) == 1.0
+        assert w.bound(2) == pytest.approx(10 / 12)
+
+    def test_marginal_sums_to_bound_drop(self):
+        w = ElementWeights(SimilarityKind.EDS, length=9, n_tokens=3, budget=NO_BUDGET)
+        drop = sum(w.marginal(i) for i in range(3))
+        assert drop == pytest.approx(w.bound(0) - w.bound(3))
+
+    def test_jaccard_budget_from_alpha(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        collection = SetCollection.from_strings([["a b c d e"]])
+        w = ElementWeights.for_element(collection[0].elements[0], phi)
+        # floor((1 - 0.7) * 5) + 1 = 2, as in Example 10.
+        assert w.budget == 2
+
+    def test_edit_budget_from_alpha(self):
+        phi = SimilarityFunction(SimilarityKind.EDS, alpha=0.8)
+        collection = SetCollection.from_strings(
+            [["abcdefghij"]], kind=SimilarityKind.EDS, q=2
+        )
+        w = ElementWeights.for_element(collection[0].elements[0], phi)
+        # floor(0.2 / 0.8 * 10) + 1 = 3.
+        assert w.budget == 3
+
+    def test_no_budget_when_alpha_zero(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.0)
+        collection = SetCollection.from_strings([["a b"]])
+        w = ElementWeights.for_element(collection[0].elements[0], phi)
+        assert w.budget == NO_BUDGET
+
+    def test_effective_bound_alpha_cut(self):
+        w = ElementWeights(SimilarityKind.JACCARD, length=5, n_tokens=5, budget=3)
+        # Raw bound 0.4 < alpha 0.5 -> thresholded similarity must be 0.
+        assert w.effective_bound(3, alpha=0.5) == 0.0
+
+    def test_effective_bound_saturation(self):
+        w = ElementWeights(SimilarityKind.JACCARD, length=5, n_tokens=5, budget=2)
+        assert w.effective_bound(2, alpha=0.1) == 0.0
+
+    def test_empty_element_bound(self):
+        w = ElementWeights(SimilarityKind.JACCARD, length=0, n_tokens=0, budget=NO_BUDGET)
+        assert w.bound(0) == 1.0
+
+
+class TestSchemeRegistry:
+    def test_all_names_resolve(self):
+        for name in SCHEME_NAMES:
+            assert get_scheme(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_scheme("nope")
+
+
+@pytest.mark.parametrize("scheme_name", ["weighted", "skyline", "dichotomy"])
+class TestWeightedFamilyValidity:
+    """Lemma 1 / Theorem 3: residual bound below theta."""
+
+    def test_residual_below_theta(self, scheme_name):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        index = InvertedIndex(collection)
+        theta = 0.7 * len(reference)
+        signature = get_scheme(scheme_name).generate(reference, theta, phi, index)
+        assert signature is not None
+        assert signature.residual < theta
+
+    def test_per_element_tokens_subset_of_element(self, scheme_name):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        index = InvertedIndex(collection)
+        signature = get_scheme(scheme_name).generate(
+            reference, 2.1, phi, index
+        )
+        for element, tokens in zip(reference.elements, signature.per_element):
+            assert tokens <= element.signature_tokens
+
+    def test_flattened_is_union_of_unflattened(self, scheme_name):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        index = InvertedIndex(collection)
+        signature = get_scheme(scheme_name).generate(reference, 2.1, phi, index)
+        union = frozenset().union(*signature.per_element)
+        assert signature.tokens == union
+
+
+class TestWeightedSchemeAdversarial:
+    """Lemma 2 via construction: S_i = r_i \\ k_i scores exactly the residual."""
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_adversarial_set_is_caught(self, seed):
+        rng = random.Random(seed)
+        vocab = [f"w{i}" for i in range(12)]
+        sets = [
+            [" ".join(rng.sample(vocab, rng.randint(2, 5))) for _ in range(rng.randint(1, 4))]
+            for _ in range(8)
+        ]
+        collection = SetCollection.from_strings(sets)
+        reference = collection[0]
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        index = InvertedIndex(collection)
+        delta = 0.7
+        theta = delta * len(reference)
+        signature = get_scheme("weighted").generate(reference, theta, phi, index)
+        assert signature is not None
+
+        # Build the adversarial set S with s_i = r_i minus its signature
+        # tokens.  Its matching score must be below theta (Lemma 1); and
+        # it shares no token with the signature.
+        vocab_obj = collection.vocabulary
+        adversary = []
+        for element, k_i in zip(reference.elements, signature.per_element):
+            remaining = element.index_tokens - k_i
+            adversary.append(" ".join(vocab_obj.token_of(t) for t in sorted(remaining)))
+        sibling = collection.sibling()
+        adversarial_record = sibling.add_set(adversary)
+
+        shared = adversarial_record.token_universe & signature.tokens
+        assert not shared
+        score = matching_score(reference, adversarial_record, phi)
+        assert score < theta + 1e-9
+
+
+class TestUnweightedScheme:
+    def test_example5_token_count(self):
+        # theta = 2.1, c = 3: remove 2 occurrences; with whole-token
+        # removal the two cheapest-to-remove... the greedy removes the
+        # most expensive tokens whose occurrence counts fit budget 2.
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        index = InvertedIndex(collection)
+        signature = get_scheme("unweighted").generate(reference, 2.1, phi, index)
+        assert signature is not None
+        # The flattened signature keeps at least |occurrences| - 2 tokens.
+        total_occurrences = sum(len(e.signature_tokens) for e in reference.elements)
+        kept = sum(len(k) for k in signature.per_element)
+        assert kept >= total_occurrences - 2
+
+    def test_comb_unweighted_trims_to_budget(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        index = InvertedIndex(collection)
+        signature = get_scheme("comb_unweighted").generate(reference, 2.1, phi, index)
+        budget = 2  # floor(0.3 * 5) + 1
+        for tokens in signature.per_element:
+            assert len(tokens) <= 5  # never exceeds element size
+        # At least one element must have been trimmed to the budget.
+        assert any(len(tokens) <= budget for tokens in signature.per_element)
+
+
+class TestSimThreshScheme:
+    def test_requires_alpha(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.0)
+        index = InvertedIndex(collection)
+        assert get_scheme("sim_thresh").generate(reference, 2.1, phi, index) is None
+
+    def test_example10_budget(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        index = InvertedIndex(collection)
+        signature = get_scheme("sim_thresh").generate(reference, 2.1, phi, index)
+        assert signature is not None
+        # Example 10: |m_i| = 2 for every element.
+        assert all(len(m) == 2 for m in signature.per_element)
+        assert all(b == 0.0 for b in signature.element_bounds)
+
+
+class TestSkylineAndDichotomy:
+    def test_reduce_to_weighted_at_alpha_zero(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.0)
+        index = InvertedIndex(collection)
+        weighted = get_scheme("weighted").generate(reference, 2.1, phi, index)
+        skyline = get_scheme("skyline").generate(reference, 2.1, phi, index)
+        dichotomy = get_scheme("dichotomy").generate(reference, 2.1, phi, index)
+        assert skyline.tokens == weighted.tokens
+        assert dichotomy.tokens == weighted.tokens
+
+    def test_skyline_respects_budget(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        index = InvertedIndex(collection)
+        signature = get_scheme("skyline").generate(reference, 2.1, phi, index)
+        assert signature is not None
+        for tokens, bound in zip(signature.per_element, signature.element_bounds):
+            if len(tokens) >= 2:  # budget = 2 at alpha 0.7 with |r| = 5
+                assert bound == 0.0
+
+    def test_dichotomy_example13_small_signature(self):
+        # Example 13 ends with a 2-token signature {t11, t12}.
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        index = InvertedIndex(collection)
+        signature = get_scheme("dichotomy").generate(reference, 2.1, phi, index)
+        assert signature is not None
+        # Our greedy is cost-ordered, not identical to the paper's hand
+        # trace, but the signature must be small (saturation shrinks it)
+        # and valid.
+        assert len(signature.tokens) <= 6
+
+    def test_dichotomy_saturated_bounds_zero(self):
+        reference, collection = _table2()
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.7)
+        index = InvertedIndex(collection)
+        signature = get_scheme("dichotomy").generate(reference, 2.1, phi, index)
+        for tokens, bound in zip(signature.per_element, signature.element_bounds):
+            if len(tokens) >= 2:
+                assert bound == 0.0
+
+
+class TestEditSignatures:
+    def _collection(self, q=2):
+        sets = [
+            ["silkmoth", "related", "matching"],
+            ["silkmoth", "related", "matchings"],
+            ["different", "words", "entirely"],
+        ]
+        return SetCollection.from_strings(sets, kind=SimilarityKind.EDS, q=q)
+
+    def test_weighted_edit_residual(self):
+        collection = self._collection()
+        reference = collection[0]
+        phi = SimilarityFunction(SimilarityKind.EDS)
+        index = InvertedIndex(collection)
+        theta = 0.7 * len(reference)
+        signature = get_scheme("weighted").generate(reference, theta, phi, index)
+        assert signature is not None
+        assert signature.residual < theta
+
+    def test_signature_tokens_are_chunks(self):
+        collection = self._collection()
+        reference = collection[0]
+        phi = SimilarityFunction(SimilarityKind.EDS)
+        index = InvertedIndex(collection)
+        signature = get_scheme("weighted").generate(reference, 2.1, phi, index)
+        for element, tokens in zip(reference.elements, signature.per_element):
+            assert tokens <= element.signature_tokens
+
+    def test_too_large_q_yields_no_signature(self):
+        # Section 7.3: a too-large q empties the scheme.  With |r| = 30
+        # and q = 20 there are 2 chunks, so the best achievable residual
+        # is 30/32 = 0.9375; any theta at or below that admits no valid
+        # signature and the engine must full-scan.
+        sets = [["abcdefghij" * 3], ["abcdefghij" * 3]]
+        collection = SetCollection.from_strings(sets, kind=SimilarityKind.EDS, q=20)
+        reference = collection[0]
+        phi = SimilarityFunction(SimilarityKind.EDS)
+        index = InvertedIndex(collection)
+        theta = 0.9 * len(reference)  # 0.9 < 0.9375
+        signature = get_scheme("weighted").generate(reference, theta, phi, index)
+        assert signature is None

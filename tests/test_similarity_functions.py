@@ -1,0 +1,156 @@
+"""Unit tests for jaccard/eds/neds and the alpha-thresholded wrapper."""
+
+import pytest
+
+from repro.sim.functions import (
+    SimilarityFunction,
+    SimilarityKind,
+    eds,
+    jaccard,
+    neds,
+)
+
+
+class TestJaccard:
+    def test_paper_example(self):
+        # Section 2.1: Jac({50,Vassar,St,MA},{50,Vassar,Street,MA}) = 3/5.
+        x = {"50", "Vassar", "St", "MA"}
+        y = {"50", "Vassar", "Street", "MA"}
+        assert jaccard(x, y) == pytest.approx(3 / 5)
+
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(set(), {"a"}) == 0.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_accepts_lists(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_symmetry(self):
+        x, y = {"a", "b", "c"}, {"b", "c", "d", "e"}
+        assert jaccard(x, y) == jaccard(y, x)
+
+    def test_subset(self):
+        assert jaccard({"a", "b"}, {"a", "b", "c", "d"}) == pytest.approx(0.5)
+
+
+class TestEds:
+    def test_paper_example(self):
+        # Section 2.1: Eds("50 Vassar St MA", "50 Vassar Street MA") = 15/19.
+        assert eds("50 Vassar St MA", "50 Vassar Street MA") == pytest.approx(15 / 19)
+
+    def test_identical(self):
+        assert eds("abc", "abc") == 1.0
+
+    def test_empty_vs_nonempty(self):
+        # LD = n, so eds = 1 - 2n/(0 + n + n) = 0.
+        assert eds("", "abc") == 0.0
+
+    def test_range(self):
+        assert 0.0 <= eds("kitten", "sitting") <= 1.0
+
+    def test_symmetry(self):
+        assert eds("sunday", "saturday") == eds("saturday", "sunday")
+
+    def test_triangle_inequality_of_dual(self):
+        # 1 - eds is a metric; spot-check the triangle inequality.
+        strings = ["abc", "abd", "xbd", "xyz", "", "a"]
+        for a in strings:
+            for b in strings:
+                for c in strings:
+                    d_ab = 1 - eds(a, b)
+                    d_bc = 1 - eds(b, c)
+                    d_ac = 1 - eds(a, c)
+                    assert d_ac <= d_ab + d_bc + 1e-12
+
+
+class TestNeds:
+    def test_identical(self):
+        assert neds("abc", "abc") == 1.0
+
+    def test_simple(self):
+        # LD("cat","cut") = 1, max length 3.
+        assert neds("cat", "cut") == pytest.approx(2 / 3)
+
+    def test_bounded_by_eds(self):
+        # Section 7.1 derives NEds(r, s) <= Eds(r, s).
+        pairs = [
+            ("kitten", "sitting"),
+            ("abc", "xyz"),
+            ("50 Vassar St MA", "50 Vassar Street MA"),
+            ("a", "abcdef"),
+        ]
+        for x, y in pairs:
+            assert neds(x, y) <= eds(x, y) + 1e-12
+
+    def test_both_empty(self):
+        assert neds("", "") == 1.0
+
+
+class TestSimilarityFunction:
+    def test_alpha_threshold_zeroes_low_scores(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.5)
+        assert phi.tokens({"a", "b", "c"}, {"a"}) == 0.0  # 1/3 < 0.5
+
+    def test_alpha_threshold_keeps_high_scores(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.5)
+        assert phi.tokens({"a", "b"}, {"a", "b", "c"}) == pytest.approx(2 / 3)
+
+    def test_alpha_boundary_kept(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD, alpha=0.5)
+        assert phi.tokens({"a"}, {"a", "b"}) == pytest.approx(0.5)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityFunction(SimilarityKind.JACCARD, alpha=1.5)
+        with pytest.raises(ValueError):
+            SimilarityFunction(SimilarityKind.JACCARD, alpha=-0.1)
+
+    def test_strings_jaccard_splits_words(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        assert phi("a b c", "a b d") == pytest.approx(0.5)
+
+    def test_strings_eds(self):
+        phi = SimilarityFunction(SimilarityKind.EDS)
+        assert phi("abc", "abc") == 1.0
+
+    def test_strings_neds(self):
+        phi = SimilarityFunction(SimilarityKind.NEDS)
+        assert phi("cat", "cut") == pytest.approx(2 / 3)
+
+    def test_edit_at_least_matches_exact_above_floor(self):
+        phi = SimilarityFunction(SimilarityKind.EDS, alpha=0.0)
+        pairs = [("kitten", "sitting"), ("abcd", "abce"), ("same", "same")]
+        for x, y in pairs:
+            exact = phi.threshold(eds(x, y))
+            got = phi.edit_at_least(x, y, floor=0.3)
+            if exact >= 0.3:
+                assert got == pytest.approx(exact)
+            else:
+                assert got == 0.0
+
+    def test_edit_at_least_respects_alpha(self):
+        phi = SimilarityFunction(SimilarityKind.EDS, alpha=0.9)
+        assert phi.edit_at_least("kitten", "sitting", floor=0.0) == 0.0
+
+    def test_edit_at_least_neds(self):
+        phi = SimilarityFunction(SimilarityKind.NEDS, alpha=0.0)
+        assert phi.edit_at_least("cat", "cut", floor=0.5) == pytest.approx(2 / 3)
+
+    def test_edit_at_least_rejects_jaccard(self):
+        phi = SimilarityFunction(SimilarityKind.JACCARD)
+        with pytest.raises(ValueError):
+            phi.edit_at_least("a", "b", floor=0.5)
+
+    def test_is_edit_based(self):
+        assert not SimilarityKind.JACCARD.is_edit_based
+        assert SimilarityKind.EDS.is_edit_based
+        assert SimilarityKind.NEDS.is_edit_based

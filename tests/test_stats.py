@@ -1,0 +1,72 @@
+"""RunStats aggregation and its integration with the engine."""
+
+import pytest
+
+from repro.core.config import SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.core.stats import PassStats, RunStats
+
+
+class TestRunStatsAggregation:
+    def test_add_accumulates_counters(self):
+        run = RunStats()
+        run.add(PassStats(signature_tokens=2, initial_candidates=5,
+                          after_check=3, after_nn=2, verified=2, matches=1))
+        run.add(PassStats(signature_tokens=1, initial_candidates=4,
+                          after_check=4, after_nn=3, verified=3, matches=0,
+                          full_scan=True))
+        assert run.passes == 2
+        assert run.signature_tokens == 3
+        assert run.initial_candidates == 9
+        assert run.after_check == 7
+        assert run.after_nn == 5
+        assert run.verified == 5
+        assert run.matches == 1
+        assert run.full_scans == 1
+        assert len(run.per_pass) == 2
+
+    def test_fresh_stats_zeroed(self):
+        run = RunStats()
+        assert run.passes == 0
+        assert run.verified == 0
+        assert run.per_pass == []
+
+
+class TestEngineStatsIntegration:
+    def test_stats_accumulate_across_searches(self):
+        sets = [["a b"], ["a b"], ["c d"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.7))
+        engine.search(collection[0], skip_set=0)
+        engine.search(collection[1], skip_set=1)
+        assert engine.stats.passes == 2
+
+    def test_discover_runs_one_pass_per_reference(self):
+        sets = [["a b"], ["c d"], ["e f"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.7))
+        engine.discover()
+        assert engine.stats.passes == 3
+
+    def test_per_pass_funnel_monotone(self):
+        sets = [["x y", "z w"], ["x y", "z q"], ["p p"], ["x y"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        engine.discover()
+        for one_pass in engine.stats.per_pass:
+            assert (
+                one_pass.initial_candidates
+                >= one_pass.after_check
+                >= one_pass.after_nn
+                >= one_pass.matches
+            )
+
+    def test_matches_equals_results(self):
+        sets = [["a b"], ["a b"], ["a c"]]
+        collection = SetCollection.from_strings(sets)
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        results = engine.discover()
+        # Each unordered similarity pair is searched from both sides but
+        # reported once; the per-pass matches count both directions.
+        assert engine.stats.matches >= len(results)

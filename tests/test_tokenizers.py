@@ -1,0 +1,141 @@
+"""Unit tests for tokenizers, q-gram/q-chunk extraction, and vocabulary."""
+
+import pytest
+
+from repro.sim.functions import SimilarityKind
+from repro.tokenize.tokenizers import (
+    PAD_CHAR,
+    Tokenizer,
+    max_q_for_alpha,
+    max_q_for_delta,
+    pad_for_qgrams,
+    qchunks,
+    qgrams,
+    whitespace_tokens,
+)
+from repro.tokenize.vocabulary import Vocabulary
+
+
+class TestWhitespaceTokens:
+    def test_basic(self):
+        assert whitespace_tokens("77 Mass Ave") == ["77", "Mass", "Ave"]
+
+    def test_collapses_runs(self):
+        assert whitespace_tokens("a   b\t c") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert whitespace_tokens("") == []
+
+
+class TestQGrams:
+    def test_padding_length(self):
+        assert pad_for_qgrams("abc", 4) == "abc" + PAD_CHAR * 3
+
+    def test_count_equals_string_length(self):
+        # With q-1 padding there are exactly len(element) q-grams.
+        assert len(qgrams("abcde", 3)) == 5
+
+    def test_values(self):
+        grams = qgrams("abc", 2)
+        assert grams == ["ab", "bc", "c" + PAD_CHAR]
+
+    def test_empty_element(self):
+        assert qgrams("", 3) == []
+
+    def test_q_one(self):
+        assert qgrams("abc", 1) == ["a", "b", "c"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            pad_for_qgrams("abc", 0)
+
+
+class TestQChunks:
+    def test_count(self):
+        # ceil(len / q) chunks.
+        assert len(qchunks("abcde", 2)) == 3
+
+    def test_values(self):
+        assert qchunks("abcde", 2) == ["ab", "cd", "e" + PAD_CHAR]
+
+    def test_chunks_are_subset_of_grams(self):
+        element = "silkmoth finds related sets"
+        for q in (2, 3, 4):
+            grams = set(qgrams(element, q))
+            for chunk in qchunks(element, q):
+                assert chunk in grams
+
+    def test_exact_multiple(self):
+        assert qchunks("abcd", 2) == ["ab", "cd"]
+
+    def test_empty(self):
+        assert qchunks("", 2) == []
+
+
+class TestQConstraints:
+    def test_max_q_for_delta_strict(self):
+        # q < delta / (1 - delta); delta = 0.8 gives limit 4, so q = 3.
+        assert max_q_for_delta(0.8) == 3
+
+    def test_max_q_for_delta_non_integer_limit(self):
+        # delta = 0.7 gives limit 2.33..., q = 2.
+        assert max_q_for_delta(0.7) == 2
+
+    def test_max_q_for_alpha_paper_value(self):
+        # Section 8.1 footnote: alpha = 0.85 gives q = 5.
+        assert max_q_for_alpha(0.85) == 5
+
+    def test_max_q_for_alpha_point8(self):
+        # alpha = 0.8: limit 4, strict, so q = 3 (Table 3 note: q = 3).
+        assert max_q_for_alpha(0.8) == 3
+
+    def test_max_q_for_alpha_low(self):
+        assert max_q_for_alpha(0.0) == 1
+        assert max_q_for_alpha(0.5) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_q_for_delta(0.0)
+        with pytest.raises(ValueError):
+            max_q_for_alpha(-0.1)
+
+
+class TestTokenizer:
+    def test_jaccard_index_and_signature_agree(self):
+        tokenizer = Tokenizer(SimilarityKind.JACCARD)
+        assert tokenizer.index_tokens("a b c") == tokenizer.signature_tokens("a b c")
+
+    def test_edit_index_tokens_are_grams(self):
+        tokenizer = Tokenizer(SimilarityKind.EDS, q=2)
+        assert tokenizer.index_tokens("abc") == ["ab", "bc", "c" + PAD_CHAR]
+
+    def test_edit_signature_tokens_are_chunks(self):
+        tokenizer = Tokenizer(SimilarityKind.EDS, q=2)
+        assert tokenizer.signature_tokens("abc") == ["ab", "c" + PAD_CHAR]
+
+
+class TestVocabulary:
+    def test_intern_roundtrip(self):
+        vocab = Vocabulary()
+        i = vocab.intern("hello")
+        assert vocab.token_of(i) == "hello"
+        assert vocab.id_of("hello") == i
+
+    def test_intern_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.intern("x") == vocab.intern("x")
+
+    def test_ids_are_dense(self):
+        vocab = Vocabulary()
+        ids = [vocab.intern(t) for t in ["a", "b", "c"]]
+        assert ids == [0, 1, 2]
+        assert len(vocab) == 3
+
+    def test_unknown_token(self):
+        vocab = Vocabulary()
+        assert vocab.id_of("missing") is None
+        assert "missing" not in vocab
+
+    def test_intern_all_preserves_duplicates(self):
+        vocab = Vocabulary()
+        assert vocab.intern_all(["a", "b", "a"]) == [0, 1, 0]

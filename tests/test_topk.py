@@ -1,0 +1,187 @@
+"""Top-k search: exactness against brute-force ranking and edge cases."""
+
+import random
+
+import pytest
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.engine import SilkMoth, relatedness_value
+from repro.core.records import SetCollection
+from repro.core.topk import TopKSearcher
+from repro.matching.score import matching_score
+from repro.sim.functions import SimilarityKind
+
+
+def _random_sets(rng, n_sets, vocab_size=12, max_elements=4, max_words=4):
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    sets = []
+    for _ in range(n_sets):
+        elements = [
+            " ".join(rng.sample(vocab, rng.randint(1, max_words)))
+            for _ in range(rng.randint(1, max_elements))
+        ]
+        sets.append(elements)
+    # Plant near-duplicates so a relatedness gradient exists.
+    for i in range(0, n_sets - 1, 3):
+        sets[i + 1] = list(sets[i])
+        if rng.random() < 0.6:
+            j = rng.randrange(len(sets[i + 1]))
+            sets[i + 1][j] = " ".join(rng.sample(vocab, rng.randint(1, max_words)))
+    return sets
+
+
+def _brute_force_ranking(collection, config, reference, skip_set, min_delta):
+    """All sets with relatedness >= min_delta, best first."""
+    phi = config.phi
+    scored = []
+    for candidate in collection:
+        if candidate.set_id == skip_set:
+            continue
+        score = matching_score(reference, candidate, phi)
+        value = relatedness_value(
+            config.metric, score, len(reference), len(candidate)
+        )
+        if value >= min_delta - 1e-9:
+            scored.append((candidate.set_id, value))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(99)
+    sets = _random_sets(rng, 30)
+    return SetCollection.from_strings(sets)
+
+
+class TestTopKExactness:
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_matches_brute_force(self, corpus, k):
+        config = SilkMothConfig(metric=Relatedness.SIMILARITY, delta=0.8)
+        searcher = TopKSearcher(corpus, config, min_delta=0.1)
+        for ref_id in (0, 7, 14):
+            reference = corpus[ref_id]
+            got = searcher.search(reference, k, skip_set=ref_id)
+            expected = _brute_force_ranking(
+                corpus, config, reference, ref_id, min_delta=0.1
+            )[:k]
+            assert [r.set_id for r in got.results] == [sid for sid, _ in expected]
+            for result, (_, value) in zip(got.results, expected):
+                assert result.relatedness == pytest.approx(value)
+
+    def test_containment_metric(self, corpus):
+        config = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.9)
+        searcher = TopKSearcher(corpus, config, min_delta=0.2)
+        reference = corpus[3]
+        got = searcher.search(reference, 4, skip_set=3)
+        expected = _brute_force_ranking(
+            corpus, config, reference, 3, min_delta=0.2
+        )[:4]
+        assert [r.set_id for r in got.results] == [sid for sid, _ in expected]
+
+    def test_results_sorted_descending(self, corpus):
+        config = SilkMothConfig(delta=0.7)
+        searcher = TopKSearcher(corpus, config, min_delta=0.1)
+        got = searcher.search(corpus[0], 8, skip_set=0)
+        values = [r.relatedness for r in got.results]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTopKBehaviour:
+    def test_k_zero(self, corpus):
+        searcher = TopKSearcher(corpus, SilkMothConfig(delta=0.7))
+        got = searcher.search(corpus[0], 0)
+        assert got.results == ()
+        assert got.levels == 0
+
+    def test_saturated_flag_when_enough(self, corpus):
+        searcher = TopKSearcher(
+            corpus, SilkMothConfig(delta=0.9), min_delta=0.05
+        )
+        got = searcher.search(corpus[0], 1, skip_set=0)
+        # With min_delta this low some set is within reach of k=1.
+        if got.results:
+            assert got.saturated or got.delta_used == pytest.approx(0.05)
+
+    def test_unsaturated_returns_all_above_floor(self, corpus):
+        config = SilkMothConfig(delta=0.95)
+        searcher = TopKSearcher(corpus, config, min_delta=0.9)
+        reference = corpus[5]
+        got = searcher.search(reference, 25, skip_set=5)
+        expected = _brute_force_ranking(
+            corpus, config, reference, 5, min_delta=0.9
+        )
+        assert not got.saturated or len(expected) >= 25
+        assert [r.set_id for r in got.results] == [
+            sid for sid, _ in expected[:25]
+        ]
+
+    def test_deepening_levels_counted(self, corpus):
+        searcher = TopKSearcher(
+            corpus, SilkMothConfig(delta=0.99), shrink=0.5, min_delta=0.05
+        )
+        got = searcher.search(corpus[0], 10, skip_set=0)
+        assert got.levels >= 1
+        assert got.delta_used <= 0.99
+
+    def test_engine_reuse_across_searches(self, corpus):
+        searcher = TopKSearcher(corpus, SilkMothConfig(delta=0.8), min_delta=0.2)
+        searcher.search(corpus[0], 3, skip_set=0)
+        first_engines = len(searcher._engines)
+        searcher.search(corpus[1], 3, skip_set=1)
+        # Levels are geometric from the same start, so engines are reused.
+        assert len(searcher._engines) >= first_engines
+
+    def test_invalid_parameters(self, corpus):
+        with pytest.raises(ValueError):
+            TopKSearcher(corpus, SilkMothConfig(delta=0.7), shrink=1.5)
+        with pytest.raises(ValueError):
+            TopKSearcher(corpus, SilkMothConfig(delta=0.7), min_delta=0.9)
+        with pytest.raises(ValueError):
+            TopKSearcher(corpus, SilkMothConfig(delta=0.7), min_delta=0.0)
+
+
+class TestTopKEditSimilarity:
+    def test_edit_kind(self):
+        rng = random.Random(4)
+        words = ["silkmoth", "signature", "matching", "filters"]
+        sets = []
+        for _ in range(15):
+            elements = []
+            for _ in range(rng.randint(1, 3)):
+                word = rng.choice(words)
+                if rng.random() < 0.5:
+                    chars = list(word)
+                    chars[rng.randrange(len(chars))] = rng.choice("xyz")
+                    word = "".join(chars)
+                elements.append(word)
+            sets.append(elements)
+        config = SilkMothConfig(
+            similarity=SimilarityKind.EDS, delta=0.8, alpha=0.7
+        )
+        collection = SetCollection.from_strings(
+            sets, kind=SimilarityKind.EDS, q=config.effective_q
+        )
+        searcher = TopKSearcher(collection, config, min_delta=0.2)
+        got = searcher.search(collection[0], 5, skip_set=0)
+        expected = _brute_force_ranking(
+            collection, config, collection[0], 0, min_delta=0.2
+        )[:5]
+        assert [r.set_id for r in got.results] == [sid for sid, _ in expected]
+
+
+class TestPrebuiltIndexValidation:
+    def test_engine_rejects_foreign_index(self, corpus):
+        from repro.index.inverted import InvertedIndex
+
+        other = SetCollection.from_strings([["a b"], ["b c"]])
+        foreign = InvertedIndex(other)
+        with pytest.raises(ValueError):
+            SilkMoth(corpus, SilkMothConfig(delta=0.7), index=foreign)
+
+    def test_engine_accepts_own_index(self, corpus):
+        from repro.index.inverted import InvertedIndex
+
+        index = InvertedIndex(corpus)
+        engine = SilkMoth(corpus, SilkMothConfig(delta=0.7), index=index)
+        assert engine.index is index

@@ -1,0 +1,86 @@
+"""Unit tests for the three evaluation workloads (Table 3)."""
+
+import pytest
+
+from repro.core.config import Relatedness
+from repro.sim.functions import SimilarityKind
+from repro.workloads.applications import (
+    WORKLOADS,
+    inclusion_dependency,
+    schema_matching,
+    string_matching,
+)
+
+
+class TestStringMatching:
+    def test_configuration_matches_table3(self):
+        workload = string_matching(n_sets=50)
+        assert workload.config.metric is Relatedness.SIMILARITY
+        assert workload.config.similarity is SimilarityKind.EDS
+        assert workload.config.delta == 0.7
+        assert workload.config.alpha == 0.8
+        # Table 3 note: alpha = 0.8 implies q = 3.
+        assert workload.config.effective_q == 3
+
+    def test_collection_tokenised_with_qgrams(self):
+        workload = string_matching(n_sets=10)
+        collection = workload.collection()
+        element = collection[0].elements[0]
+        assert element.signature_tokens <= element.index_tokens
+
+    def test_elements_per_set(self):
+        workload = string_matching(n_sets=20)
+        sizes = [len(s) for s in workload.sets]
+        assert sum(sizes) / len(sizes) == pytest.approx(9, abs=1)
+
+
+class TestSchemaMatching:
+    def test_configuration_matches_table3(self):
+        workload = schema_matching(n_sets=50)
+        assert workload.config.metric is Relatedness.SIMILARITY
+        assert workload.config.similarity is SimilarityKind.JACCARD
+        assert workload.config.alpha == 0.0
+
+    def test_elements_per_set(self):
+        workload = schema_matching(n_sets=20)
+        assert all(len(s) == 3 for s in workload.sets)
+
+
+class TestInclusionDependency:
+    def test_configuration_matches_table3(self):
+        workload = inclusion_dependency(n_sets=50)
+        assert workload.config.metric is Relatedness.CONTAINMENT
+        assert workload.config.similarity is SimilarityKind.JACCARD
+        assert workload.config.alpha == 0.5
+
+    def test_reference_ids_eligible(self):
+        workload = inclusion_dependency(n_sets=60, n_references=10)
+        refs = workload.reference_ids()
+        assert len(refs) == 10
+        # Section 8.1: only columns with more than 4 distinct values.
+        for ref in refs:
+            assert len(set(workload.sets[ref])) > 4
+
+    def test_reference_ids_deterministic(self):
+        a = inclusion_dependency(n_sets=60, n_references=10)
+        b = inclusion_dependency(n_sets=60, n_references=10)
+        assert a.reference_ids() == b.reference_ids()
+
+
+class TestWorkloadHelpers:
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {
+            "string_matching",
+            "schema_matching",
+            "inclusion_dependency",
+        }
+
+    def test_with_config_override(self):
+        workload = schema_matching(n_sets=10).with_config(delta=0.85)
+        assert workload.config.delta == 0.85
+        assert workload.name == "schema_matching"
+
+    def test_collection_roundtrip(self):
+        workload = schema_matching(n_sets=10)
+        collection = workload.collection()
+        assert len(collection) == 10
