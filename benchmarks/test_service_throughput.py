@@ -1,0 +1,101 @@
+"""Service throughput: cached vs uncached batch serving.
+
+The online layer's pitch is that a hot reference skips the whole
+signature/filter/verify pipeline.  This bench builds a service over the
+schema-matching workload, then serves the same reference batch twice:
+the first pass is all cache misses (full pipeline per unique
+reference), the second is all hits.  The series reports both
+throughputs and the hit-rate-adjusted speedup; a mutation between
+passes is also timed to show the cost of invalidation (the next batch
+pays the pipeline again).
+"""
+
+import random
+import time
+
+from repro.bench.reporting import print_series
+from repro.service import SilkMothService
+from repro.workloads.applications import schema_matching
+
+
+def _references(workload, n_references, rng):
+    """Reference batches drawn from the workload's own sets, with
+    intra-batch duplicates (hot keys) the dedup stage should collapse."""
+    candidates = [list(elements) for elements in workload.sets]
+    base = [candidates[rng.randrange(len(candidates))] for _ in range(n_references)]
+    duplicated = base + [base[i % len(base)] for i in range(len(base) // 2)]
+    rng.shuffle(duplicated)
+    return duplicated
+
+
+def _serve(service, references):
+    started = time.perf_counter()
+    batches = service.search_many(references)
+    elapsed = time.perf_counter() - started
+    return batches, elapsed
+
+
+def _build_service(bench_sizes, rng):
+    n = max(80, bench_sizes["schema_matching"] // 4)
+    workload = schema_matching(n_sets=n)
+    service = SilkMothService(workload.config, cache_capacity=4096)
+    for elements in workload.sets:
+        service.add_set(list(elements))
+    references = _references(workload, max(30, n // 4), rng)
+    return service, references
+
+
+def test_cached_vs_uncached_throughput(bench_sizes):
+    rng = random.Random(41)
+    service, references = _build_service(bench_sizes, rng)
+
+    _, cold_elapsed = _serve(service, references)   # all unique refs are misses
+    _, warm_elapsed = _serve(service, references)   # all hits
+
+    # One mutation invalidates; the next batch pays the pipeline again.
+    service.add_set(["invalidation probe"])
+    _, after_mutation = _serve(service, references)
+
+    n = len(references)
+    throughputs = [
+        n / cold_elapsed if cold_elapsed else float("inf"),
+        n / warm_elapsed if warm_elapsed else float("inf"),
+        n / after_mutation if after_mutation else float("inf"),
+    ]
+    print_series(
+        "Service batch throughput: cold vs cached vs post-mutation",
+        "pass",
+        ["cold", "cached", "mutated"],
+        {"runtime": [cold_elapsed, warm_elapsed, after_mutation]},
+        extra={
+            "queries/s": [round(t, 1) for t in throughputs],
+            "hit rate": [
+                "0%",
+                "100%",
+                f"{service.stats.cache_hit_rate:.0%} lifetime",
+            ],
+        },
+    )
+    assert warm_elapsed < cold_elapsed
+    assert service.stats.cache_hits > 0
+
+
+def test_cached_batch_results_match_uncached(bench_sizes):
+    rng = random.Random(42)
+    service, references = _build_service(bench_sizes, rng)
+    cold, _ = _serve(service, references)
+    warm, _ = _serve(service, references)
+    assert [
+        [(r.set_id, round(r.score, 9)) for r in row] for row in cold
+    ] == [[(r.set_id, round(r.score, 9)) for r in row] for row in warm]
+
+
+def test_service_benchmark(bench_sizes, benchmark):
+    rng = random.Random(43)
+    service, references = _build_service(bench_sizes, rng)
+    service.search_many(references)  # warm the cache once
+
+    result = benchmark.pedantic(
+        lambda: service.search_many(references), rounds=3, iterations=1
+    )
+    assert isinstance(result, list)

@@ -13,6 +13,20 @@ Quickstart::
     engine = SilkMoth(collection, config)
     pairs = engine.discover()
 
+Online serving: :class:`repro.service.SilkMothService` wraps the same
+engine as a long-lived mutable system -- add/remove/update sets between
+queries (answers stay exact via tombstones), serve hot references from
+an LRU query cache, batch queries with deduplication and process
+fan-out, and snapshot/restore the whole service::
+
+    from repro import SilkMothConfig, SilkMothService
+
+    service = SilkMothService(SilkMothConfig(delta=0.5))
+    service.add_set(["77 Mass Ave Boston MA"])
+    hits = service.search(["77 Massachusetts Avenue Boston MA"])
+    service.remove_set(0)            # next query is exact again
+    service.save("service.json")     # version-2 snapshot
+
 The public surface re-exports the pieces most users need; the
 subpackages (:mod:`repro.signatures`, :mod:`repro.filters`,
 :mod:`repro.matching`, ...) expose the internals for experimentation.
@@ -41,6 +55,7 @@ from repro.sim.levenshtein import levenshtein
 from repro.matching.score import matching_score
 from repro.baselines.brute_force import brute_force_discover, brute_force_search
 from repro.baselines.fastjoin import FastJoinBaseline
+from repro.service import ServiceStats, SilkMothService
 
 __version__ = "1.0.0"
 
@@ -52,10 +67,12 @@ __all__ = [
     "FastJoinBaseline",
     "Relatedness",
     "SearchResult",
+    "ServiceStats",
     "SetCollection",
     "SetRecord",
     "SilkMoth",
     "SilkMothConfig",
+    "SilkMothService",
     "SimilarityFunction",
     "SimilarityKind",
     "TopKResult",

@@ -30,7 +30,7 @@ def brute_force_search(
     results: list[SearchResult] = []
     if len(reference) == 0:
         return results
-    for candidate in collection:
+    for candidate in collection.iter_live():
         if candidate.set_id == skip_set:
             continue
         score = matching_score(reference, candidate, phi)
@@ -57,7 +57,7 @@ def brute_force_discover(
     refs = collection if self_mode else references
     symmetric = config.metric is Relatedness.SIMILARITY
     output: list[DiscoveryResult] = []
-    for reference in refs:
+    for reference in refs.iter_live():
         skip = reference.set_id if self_mode else None
         for result in brute_force_search(reference, collection, config, skip_set=skip):
             if self_mode and symmetric and result.set_id < reference.set_id:

@@ -9,6 +9,9 @@ works on real files without writing any Python:
   finds everything related to one reference set (SEARCH mode).
 * ``silkmoth stats data.csv --format csv-columns`` prints the Table 3
   style dataset profile without running any search.
+* ``silkmoth service snapshot|query|info`` drives the online serving
+  layer: build a mutable service snapshot, serve batched reference
+  queries against it (with cache and fan-out), or inspect one.
 
 Input formats (``--format``):
 
@@ -96,14 +99,8 @@ def build_collection(
     )
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("input", help="input data file")
-    parser.add_argument(
-        "--format",
-        choices=FORMATS,
-        default="text",
-        help="how to map the input file to sets (default: text)",
-    )
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
+    """Engine-configuration flags shared by every query-running command."""
     parser.add_argument(
         "--metric",
         choices=[m.value for m in Relatedness],
@@ -150,6 +147,17 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable reduction-based verification",
     )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="input data file")
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="how to map the input file to sets (default: text)",
+    )
+    _add_config_options(parser)
     parser.add_argument(
         "--output",
         help="write results to this file (.csv or .json); default stdout TSV",
@@ -322,6 +330,92 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_service_snapshot(args: argparse.Namespace) -> int:
+    """Build a version-2 service snapshot from an input dataset.
+
+    Works on the collection directly -- the snapshot stores raw sets
+    plus tombstones, so there is no need to build the inverted index
+    here (the serving process builds it on load).
+    """
+    from repro.io.persistence import save_service_snapshot
+
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    collection = build_collection(sets, config)
+    removals = args.remove or ()
+    for set_id in removals:
+        if not collection.is_live(set_id):
+            print(f"--remove {set_id} out of range or duplicated", file=sys.stderr)
+            return 1
+        collection.remove_set(set_id)
+    save_service_snapshot(
+        args.output, collection, metadata={"generation": len(removals)}
+    )
+    if not args.quiet:
+        print(
+            f"# snapshot {args.output}: {collection.live_count} live set(s), "
+            f"{len(collection.deleted_ids)} tombstone(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_service_query(args: argparse.Namespace) -> int:
+    """Serve a batch of reference queries from a service snapshot."""
+    from repro.service import SilkMothService
+
+    if args.repeat < 1:
+        print(f"--repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 1
+    config = build_config(args)
+    service = SilkMothService.load(args.snapshot, config)
+    references, labels = load_sets(args.references, args.format)
+    if not references:
+        print("no reference sets found", file=sys.stderr)
+        return 1
+    started = time.perf_counter()
+    for _ in range(args.repeat):
+        batches = service.search_many(references, processes=args.processes)
+    elapsed = time.perf_counter() - started
+    out = sys.stdout
+    out.write("reference\tset\tscore\trelatedness\n")
+    for label, results in zip(labels, batches):
+        for r in results:
+            out.write(f"{label}\t{r.set_id}\t{r.score:.6g}\t{r.relatedness:.6g}\n")
+    if not args.quiet:
+        stats = service.stats
+        print(
+            f"# served {stats.queries} query(ies) in {elapsed:.3f}s; "
+            f"cache hit rate {stats.cache_hit_rate:.0%}; "
+            f"{stats.batch_queries_deduplicated} deduplicated in batch",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_service_info(args: argparse.Namespace) -> int:
+    """Describe a service snapshot without running any queries."""
+    from repro.io.persistence import load_service_snapshot
+
+    collection, metadata = load_service_snapshot(args.snapshot)
+    deleted = sorted(collection.deleted_ids)
+    print(f"similarity:   {collection.tokenizer.kind.value}")
+    print(f"q:            {collection.tokenizer.q}")
+    print(f"total sets:   {len(collection)}")
+    print(f"live sets:    {collection.live_count}")
+    print(f"tombstones:   {len(deleted)}" + (f" {deleted}" if deleted else ""))
+    if metadata:
+        print(f"generation:   {metadata.get('generation', 0)}")
+        stats = metadata.get("stats")
+        if isinstance(stats, dict):
+            for key in sorted(stats):
+                print(f"stats.{key}: {stats[key]}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     sets, labels = load_sets(args.input, args.format)
     if not sets:
@@ -410,6 +504,70 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("input", help="input data file")
     stats.add_argument("--format", choices=FORMATS, default="text")
     stats.set_defaults(func=cmd_stats)
+
+    service = sub.add_parser(
+        "service",
+        help="online serving: build, inspect, and query service snapshots",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    snapshot = service_sub.add_parser(
+        "snapshot",
+        help="build a version-2 service snapshot from an input dataset",
+    )
+    snapshot.add_argument("input", help="input data file")
+    snapshot.add_argument("--format", choices=FORMATS, default="text")
+    _add_config_options(snapshot)
+    snapshot.add_argument(
+        "--output", required=True, help="where to write the snapshot (.json)"
+    )
+    snapshot.add_argument(
+        "--remove",
+        type=int,
+        action="append",
+        help="tombstone this set id before saving (repeatable)",
+    )
+    snapshot.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+    snapshot.set_defaults(func=cmd_service_snapshot)
+
+    query = service_sub.add_parser(
+        "query", help="serve a batch of reference queries from a snapshot"
+    )
+    query.add_argument("snapshot", help="service snapshot file")
+    query.add_argument(
+        "--references", required=True, help="file of reference sets to serve"
+    )
+    query.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="how to map the references file to sets (default: text)",
+    )
+    _add_config_options(query)
+    query.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan cold queries out across this many processes",
+    )
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the batch this many times (shows the cache hit rate)",
+    )
+    query.add_argument(
+        "--quiet", action="store_true", help="suppress the stats summary"
+    )
+    query.set_defaults(func=cmd_service_query)
+
+    info = service_sub.add_parser(
+        "info", help="describe a service snapshot without querying it"
+    )
+    info.add_argument("snapshot", help="service snapshot file")
+    info.set_defaults(func=cmd_service_info)
 
     return parser
 

@@ -162,7 +162,7 @@ class SilkMoth:
         refs = self.collection if self_mode else references
         symmetric = self.config.metric is Relatedness.SIMILARITY
         output: list[DiscoveryResult] = []
-        for reference in refs:
+        for reference in refs.iter_live():
             skip = reference.set_id if self_mode else None
             for result in self.search(reference, skip_set=skip):
                 if self_mode and symmetric and result.set_id < reference.set_id:
@@ -208,7 +208,7 @@ class SilkMoth:
             stats.full_scan = True
             infos = [
                 CandidateInfo(record.set_id)
-                for record in self.collection
+                for record in self.collection.iter_live()
                 if record.set_id != skip_set
                 and size_range[0] <= len(record) <= size_range[1]
             ]

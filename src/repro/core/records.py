@@ -75,12 +75,22 @@ class SetRecord:
 
 
 class SetCollection(Sequence):
-    """An ordered collection of :class:`SetRecord` sharing one vocabulary."""
+    """An ordered collection of :class:`SetRecord` sharing one vocabulary.
+
+    Set ids are positional and stable: removing a set tombstones it
+    (the record stays addressable by id so index postings and stored
+    results keep meaning) rather than renumbering the survivors.  Batch
+    code that never mutates sees no tombstones and behaves exactly as
+    before; the online service (:mod:`repro.service`) relies on
+    :meth:`remove_set` / :meth:`replace_set` for mutability.
+    """
 
     def __init__(self, tokenizer: Tokenizer, vocabulary: Vocabulary | None = None):
         self.tokenizer = tokenizer
         self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
         self._sets: list[SetRecord] = []
+        self._deleted: set[int] = set()
+        self._deleted_frozen: frozenset[int] = frozenset()
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -106,16 +116,48 @@ class SetCollection(Sequence):
         self._sets.append(record)
         return record
 
-    def make_element(self, text: str) -> ElementRecord:
-        """Tokenise a single element string against this collection's vocabulary."""
-        index_tokens = self.vocabulary.intern_all(self.tokenizer.index_tokens(text))
+    def query_set(self, elements: Sequence[str]) -> SetRecord:
+        """Tokenise *elements* as a throwaway query reference.
+
+        Unlike :meth:`add_set`, the record is not appended and unseen
+        tokens are NOT interned: they get ephemeral negative ids
+        (shared across the record's elements), so serving arbitrary
+        query traffic cannot grow this collection's vocabulary.  The
+        record's ``set_id`` is -1: it does not address this collection.
+        """
+        ephemeral: dict[str, int] = {}
+        return SetRecord(
+            set_id=-1,
+            elements=tuple(
+                self.make_element(text, intern=False, ephemeral=ephemeral)
+                for text in elements
+            ),
+        )
+
+    def make_element(
+        self,
+        text: str,
+        intern: bool = True,
+        ephemeral: dict[str, int] | None = None,
+    ) -> ElementRecord:
+        """Tokenise a single element string against this collection's vocabulary.
+
+        With ``intern=False``, unseen tokens get ephemeral negative ids
+        instead of growing the vocabulary -- for query-side references
+        that are discarded after one search pass.  *ephemeral* carries
+        the shared unseen-token mapping across one record's elements.
+        """
+        if intern:
+            to_ids = self.vocabulary.intern_all
+        else:
+            def to_ids(tokens):
+                return self.vocabulary.resolve_all(tokens, ephemeral)
+        index_tokens = to_ids(self.tokenizer.index_tokens(text))
         if self.tokenizer.kind.is_token_based:
             signature_tokens = index_tokens
             length = len(set(index_tokens))
         else:
-            signature_tokens = self.vocabulary.intern_all(
-                self.tokenizer.signature_tokens(text)
-            )
+            signature_tokens = to_ids(self.tokenizer.signature_tokens(text))
             length = len(text)
         return ElementRecord(
             text=text,
@@ -123,6 +165,65 @@ class SetCollection(Sequence):
             signature_tokens=frozenset(signature_tokens),
             length=length,
         )
+
+    # -- mutation -------------------------------------------------------
+    def remove_set(self, set_id: int) -> SetRecord:
+        """Tombstone the set with *set_id* and return its record.
+
+        The record keeps its position (ids are never reused), but it no
+        longer participates in search, discovery, or brute force.
+
+        Raises
+        ------
+        KeyError
+            If *set_id* is out of range or already removed.
+        """
+        if not 0 <= set_id < len(self._sets):
+            raise KeyError(f"set_id {set_id} out of range (0..{len(self._sets) - 1})")
+        if set_id in self._deleted:
+            raise KeyError(f"set_id {set_id} is already removed")
+        self._deleted.add(set_id)
+        self._deleted_frozen = frozenset(self._deleted)
+        return self._sets[set_id]
+
+    def replace_set(
+        self, set_id: int, elements: Sequence[str]
+    ) -> tuple[SetRecord, SetRecord]:
+        """Tombstone *set_id* and append *elements* as a new set.
+
+        Returns ``(old_record, new_record)`` -- the old one so callers
+        (e.g. the index) can account for its now-dead postings, the new
+        one under its fresh id.  The old id stays a tombstone, which
+        keeps every inverted-index posting list append-only; that is
+        what makes online updates cheap.
+        """
+        old = self.remove_set(set_id)
+        return old, self.add_set(elements)
+
+    def is_live(self, set_id: int) -> bool:
+        """Whether *set_id* addresses a live (non-tombstoned) set."""
+        return 0 <= set_id < len(self._sets) and set_id not in self._deleted
+
+    @property
+    def deleted_ids(self) -> frozenset[int]:
+        """Ids of tombstoned sets.
+
+        Cached: candidate selection reads this once per query pass, so
+        it must not cost O(lifetime removals) to build each time.
+        """
+        return self._deleted_frozen
+
+    @property
+    def live_count(self) -> int:
+        """Number of live sets (total minus tombstones)."""
+        return len(self._sets) - len(self._deleted)
+
+    def iter_live(self) -> Iterator[SetRecord]:
+        """Iterate only the live records, in set-id order."""
+        deleted = self._deleted
+        if not deleted:
+            return iter(self._sets)
+        return (r for r in self._sets if r.set_id not in deleted)
 
     def sibling(self) -> "SetCollection":
         """An empty collection sharing this one's tokenizer and vocabulary.

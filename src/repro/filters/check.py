@@ -97,6 +97,8 @@ def select_and_check(
     # (set_id, element_index) pairs already compared per reference element,
     # so duplicated postings across tokens are not recomputed.
     seen: dict[int, set[tuple[int, int]]] = {}
+    # Tombstoned sets keep postings until the index compacts; skip them.
+    deleted = collection.deleted_ids
 
     for i, tokens in enumerate(signature.per_element):
         if not tokens:
@@ -105,7 +107,7 @@ def select_and_check(
         seen_i = seen.setdefault(i, set())
         for token in tokens:
             for set_id, element_index in index.postings(token):
-                if set_id == skip_set:
+                if set_id == skip_set or set_id in deleted:
                     continue
                 key = (set_id, element_index)
                 if key in seen_i:

@@ -5,6 +5,13 @@ postings whose element contains ``t`` (by *index* tokens).  Postings are
 stored sorted by set_id so candidate selection can deduplicate cheaply
 and the nearest-neighbour filter can binary-search the slice belonging
 to one candidate set (paper Section 5.2, footnote 7).
+
+Mutability: removals are *lazy*.  Tombstoning a set leaves its postings
+in place (candidate selection skips them via the collection's tombstone
+set) and only bumps a dead-posting counter; :meth:`compact` physically
+drops them once the dead fraction justifies a rewrite.  This keeps
+posting lists append-only on the hot path, which is what makes online
+mutation cheap.
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, NamedTuple
 
-from repro.core.records import SetCollection
+from repro.core.records import SetCollection, SetRecord
 
 
 class Posting(NamedTuple):
@@ -22,32 +29,100 @@ class Posting(NamedTuple):
     element_index: int
 
 
+def record_posting_count(record: SetRecord) -> int:
+    """How many postings *record* contributes to the index."""
+    return sum(len(element.index_tokens) for element in record.elements)
+
+
 class InvertedIndex:
     """Token id -> sorted postings, over a :class:`SetCollection`."""
 
     def __init__(self, collection: SetCollection):
         self.collection = collection
         self._lists: dict[int, list[Posting]] = {}
+        self._max_set_id = -1
+        self._live_postings = 0
+        self._dead_postings = 0
+        self._compactions = 0
         self._build()
 
     def _build(self) -> None:
         for record in self.collection:
             self.add_record(record)
-        # Sets were ingested in set_id order and elements in index order,
-        # so every list is already sorted; assert-level sort kept cheap.
+        # A freshly indexed collection may already carry tombstones
+        # (e.g. one rebuilt from a service snapshot).
+        for set_id in self.collection.deleted_ids:
+            self.note_removed(self.collection[set_id])
 
-    def add_record(self, record) -> None:
+    def add_record(self, record: SetRecord) -> None:
         """Index one more set record (incremental update).
 
-        Postings stay sorted because records are only ever appended to
-        the collection, so the new set_id is the largest seen.
+        Postings normally stay sorted because records are appended to
+        the collection in set-id order; if a caller ever indexes records
+        out of order, the touched lists are re-sorted so the
+        binary-search invariant can't silently break.
         """
         lists = self._lists
+        in_order = record.set_id > self._max_set_id
+        touched: set[int] = set()
         for element_index, element in enumerate(record.elements):
             for token in element.index_tokens:
                 lists.setdefault(token, []).append(
                     Posting(record.set_id, element_index)
                 )
+                self._live_postings += 1
+                if not in_order:
+                    touched.add(token)
+        for token in touched:
+            lists[token].sort()
+        self._max_set_id = max(self._max_set_id, record.set_id)
+
+    def note_removed(self, record: SetRecord) -> None:
+        """Account for a tombstoned record's now-dead postings.
+
+        The postings are not touched (lazy deletion); callers decide
+        when :attr:`dead_fraction` warrants a :meth:`compact`.
+        """
+        n = record_posting_count(record)
+        self._dead_postings += n
+        self._live_postings -= n
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of stored postings that belong to tombstoned sets."""
+        stored = self._live_postings + self._dead_postings
+        return self._dead_postings / stored if stored else 0.0
+
+    @property
+    def compactions(self) -> int:
+        """How many times :meth:`compact` rewrote the posting lists."""
+        return self._compactions
+
+    def compact(self) -> int:
+        """Physically drop postings of tombstoned sets.
+
+        Returns the number of postings removed.  Posting-list order is
+        preserved (filtering a sorted list keeps it sorted), so every
+        index invariant survives.
+        """
+        deleted = self.collection.deleted_ids
+        if not deleted or not self._dead_postings:
+            return 0
+        removed = 0
+        empty_tokens = []
+        for token, postings in self._lists.items():
+            kept = [p for p in postings if p.set_id not in deleted]
+            if len(kept) != len(postings):
+                removed += len(postings) - len(kept)
+                if kept:
+                    self._lists[token] = kept
+                else:
+                    empty_tokens.append(token)
+        for token in empty_tokens:
+            del self._lists[token]
+        self._dead_postings = 0
+        self._compactions += 1
+        return removed
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -57,7 +132,12 @@ class InvertedIndex:
         return token in self._lists
 
     def postings(self, token: int) -> list[Posting]:
-        """All postings for *token* (empty list if the token is unindexed)."""
+        """All postings for *token* (empty list if the token is unindexed).
+
+        May include postings of tombstoned sets until :meth:`compact`
+        runs; callers that care filter against the collection's
+        ``deleted_ids``.
+        """
         return self._lists.get(token, [])
 
     def list_length(self, token: int) -> int:
@@ -78,5 +158,5 @@ class InvertedIndex:
         return tuple(postings[i].element_index for i in range(lo, hi))
 
     def total_postings(self) -> int:
-        """Total number of postings (index size diagnostic)."""
+        """Total number of postings stored (index size diagnostic)."""
         return sum(len(postings) for postings in self._lists.values())

@@ -11,7 +11,12 @@ from repro.io.loaders import (
     load_string_sets,
     sets_from_iterable,
 )
-from repro.io.persistence import load_collection, save_collection
+from repro.io.persistence import (
+    load_collection,
+    load_service_snapshot,
+    save_collection,
+    save_service_snapshot,
+)
 from repro.io.writers import (
     read_discovery_csv,
     read_discovery_json,
@@ -28,12 +33,14 @@ __all__ = [
     "load_csv_columns",
     "load_csv_schema",
     "load_jsonl_sets",
+    "load_service_snapshot",
     "load_string_sets",
     "read_discovery_csv",
     "read_discovery_json",
     "read_search_csv",
     "read_search_json",
     "save_collection",
+    "save_service_snapshot",
     "sets_from_iterable",
     "write_discovery_csv",
     "write_discovery_json",

@@ -6,7 +6,7 @@ strings plus (kind, q).  Loading re-tokenises, which keeps the format
 trivially stable across library versions (no interned ids or index
 structures on disk) while still being byte-reproducible.
 
-Format: a single JSON document::
+Version 1 (plain collection)::
 
     {
       "format": "silkmoth-collection",
@@ -15,11 +15,27 @@ Format: a single JSON document::
       "q": 1,
       "sets": [["element text", ...], ...]
     }
+
+Version 2 (service snapshot) adds tombstones and service metadata so a
+long-lived mutable :class:`repro.service.SilkMothService` round-trips
+with its live-set membership and counters intact::
+
+    {
+      ...same fields as version 1...,
+      "version": 2,
+      "deleted": [set_id, ...],
+      "service": {"generation": 7, ...}
+    }
+
+``load_collection`` reads both versions (tombstones are re-applied);
+``load_service_snapshot`` additionally returns the metadata and can
+enforce expected tokenizer settings.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.records import SetCollection
@@ -27,12 +43,30 @@ from repro.sim.functions import SimilarityKind
 
 #: Magic string identifying collection snapshots.
 FORMAT_NAME = "silkmoth-collection"
-#: Current snapshot schema version.
+#: Plain collection snapshot schema version.
 FORMAT_VERSION = 1
+#: Service snapshot schema version (adds tombstones + metadata).
+SERVICE_FORMAT_VERSION = 2
+
+
+def _write_payload(path: str | Path, payload: dict) -> None:
+    """Atomically write *payload*: a crash mid-write (OOM, SIGKILL) must
+    never destroy an existing good snapshot, so write to a sibling temp
+    file and rename over the target."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def save_collection(path: str | Path, collection: SetCollection) -> None:
-    """Write a collection snapshot (raw sets + tokenizer settings)."""
+    """Write a version-1 collection snapshot (raw sets + tokenizer settings)."""
     payload = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -43,30 +77,54 @@ def save_collection(path: str | Path, collection: SetCollection) -> None:
             for record in collection
         ],
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-        handle.write("\n")
+    _write_payload(path, payload)
 
 
-def load_collection(path: str | Path) -> SetCollection:
-    """Read a snapshot written by :func:`save_collection`.
+def save_service_snapshot(
+    path: str | Path,
+    collection: SetCollection,
+    metadata: dict | None = None,
+) -> None:
+    """Write a version-2 snapshot: collection + tombstones + metadata.
 
-    Raises
-    ------
-    ValueError
-        If the file is not a collection snapshot or has an unsupported
-        version.
+    *metadata* is an arbitrary JSON-serialisable dict (the service
+    stores its write generation and lifetime counters there).
     """
+    payload = {
+        "format": FORMAT_NAME,
+        "version": SERVICE_FORMAT_VERSION,
+        "similarity": collection.tokenizer.kind.value,
+        "q": collection.tokenizer.q,
+        "sets": [
+            [element.text for element in record.elements]
+            for record in collection
+        ],
+        "deleted": sorted(collection.deleted_ids),
+        "service": metadata if metadata is not None else {},
+    }
+    _write_payload(path, payload)
+
+
+def _read_payload(path: str | Path) -> dict:
+    """Read and structurally validate a snapshot's JSON document."""
     with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
         raise ValueError(f"{path}: not a {FORMAT_NAME} snapshot")
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in (FORMAT_VERSION, SERVICE_FORMAT_VERSION):
         raise ValueError(
             f"{path}: unsupported snapshot version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {FORMAT_VERSION} "
+            f"and {SERVICE_FORMAT_VERSION})"
         )
+    return payload
+
+
+def _collection_from_payload(path: str | Path, payload: dict) -> SetCollection:
     try:
         kind = SimilarityKind(payload["similarity"])
         q = int(payload["q"])
@@ -75,4 +133,59 @@ def load_collection(path: str | Path) -> SetCollection:
         raise ValueError(f"{path}: malformed snapshot: {exc}") from exc
     if not isinstance(sets, list):
         raise ValueError(f"{path}: 'sets' must be a list")
-    return SetCollection.from_strings(sets, kind=kind, q=q)
+    collection = SetCollection.from_strings(sets, kind=kind, q=q)
+    deleted = payload.get("deleted", [])
+    if not isinstance(deleted, list):
+        raise ValueError(f"{path}: 'deleted' must be a list of set ids")
+    if len(set(deleted)) != len(deleted):
+        raise ValueError(f"{path}: 'deleted' repeats a set id")
+    for set_id in deleted:
+        if not isinstance(set_id, int) or not 0 <= set_id < len(collection):
+            raise ValueError(f"{path}: invalid tombstoned set id {set_id!r}")
+        collection.remove_set(set_id)
+    return collection
+
+
+def load_collection(path: str | Path) -> SetCollection:
+    """Read a snapshot written by :func:`save_collection` or
+    :func:`save_service_snapshot` (tombstones are re-applied).
+
+    Raises
+    ------
+    ValueError
+        If the file is not a collection snapshot, is truncated, or has
+        an unsupported version.
+    """
+    payload = _read_payload(path)
+    return _collection_from_payload(path, payload)
+
+
+def load_service_snapshot(
+    path: str | Path,
+    expected_kind: SimilarityKind | None = None,
+    expected_q: int | None = None,
+) -> tuple[SetCollection, dict]:
+    """Read a version-2 snapshot: (collection with tombstones, metadata).
+
+    Version-1 files load too (empty metadata), so a service can adopt a
+    plain dataset snapshot.  When *expected_kind* / *expected_q* are
+    given, mismatched tokenizer settings raise ``ValueError`` instead of
+    silently serving results under the wrong similarity function.
+    """
+    payload = _read_payload(path)
+    collection = _collection_from_payload(path, payload)
+    kind = collection.tokenizer.kind
+    q = collection.tokenizer.q
+    if expected_kind is not None and kind is not expected_kind:
+        raise ValueError(
+            f"{path}: snapshot was tokenised for {kind.value!r}, "
+            f"expected {expected_kind.value!r}"
+        )
+    if expected_q is not None and q != expected_q:
+        raise ValueError(
+            f"{path}: snapshot was tokenised with q={q}, expected q={expected_q}"
+        )
+    metadata = payload.get("service", {})
+    if not isinstance(metadata, dict):
+        raise ValueError(f"{path}: 'service' metadata must be an object")
+    return collection, metadata

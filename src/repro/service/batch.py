@@ -1,0 +1,91 @@
+"""Batch query planning: deduplication and parallel fan-out helpers.
+
+``search_many`` answers a batch of references in three buckets: exact
+duplicates within the batch collapse onto one computation, previously
+seen references come straight from the cache, and the remaining cold
+references fan out through :func:`repro.core.parallel.parallel_discover`
+(or run serially for small batches).  This module holds the pure
+planning/remapping pieces so the service itself stays readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import SilkMothConfig
+from repro.core.engine import SearchResult
+from repro.core.parallel import parallel_discover
+from repro.core.records import SetCollection
+from repro.service.cache import reference_fingerprint
+
+
+@dataclass
+class BatchPlan:
+    """How one batch of references will be answered.
+
+    Attributes
+    ----------
+    fingerprints:
+        One reference fingerprint per input position.
+    unique:
+        Fingerprint -> the first raw reference carrying it.
+    duplicates:
+        How many input positions repeated an earlier fingerprint.
+    """
+
+    fingerprints: list[str] = field(default_factory=list)
+    unique: dict[str, Sequence[str]] = field(default_factory=dict)
+    duplicates: int = 0
+
+
+def plan_batch(references: Sequence[Sequence[str]]) -> BatchPlan:
+    """Fingerprint the batch and collapse intra-batch duplicates."""
+    plan = BatchPlan()
+    for elements in references:
+        fingerprint = reference_fingerprint(elements)
+        plan.fingerprints.append(fingerprint)
+        if fingerprint in plan.unique:
+            plan.duplicates += 1
+        else:
+            plan.unique[fingerprint] = elements
+    return plan
+
+
+def parallel_cold_search(
+    collection: SetCollection,
+    config: SilkMothConfig,
+    cold_references: Sequence[Sequence[str]],
+    processes: int | None,
+) -> list[list[SearchResult]]:
+    """Run the cold references through the process-pool machinery.
+
+    The workers rebuild the collection from its *live* raw sets (the
+    pool protocol ships raw strings, not records), so tombstoned ids
+    are compacted away in the workers; the id map translates worker
+    set ids back to the service's stable ids.  Results per reference
+    are sorted by set id, matching the serial engine's ordering.
+    """
+    live_records = list(collection.iter_live())
+    live_sets = [
+        [element.text for element in record.elements] for record in live_records
+    ]
+    id_map = [record.set_id for record in live_records]
+    results: list[list[SearchResult]] = [[] for _ in cold_references]
+    if not live_sets:
+        return results
+    rows = parallel_discover(
+        live_sets,
+        config,
+        reference_sets=[list(elements) for elements in cold_references],
+        processes=processes,
+    )
+    for row in rows:
+        results[row.reference_id].append(
+            SearchResult(
+                set_id=id_map[row.set_id],
+                score=row.score,
+                relatedness=row.relatedness,
+            )
+        )
+    return results

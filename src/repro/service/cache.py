@@ -1,0 +1,112 @@
+"""The query cache: LRU over (reference fingerprint, config fingerprint).
+
+A search result depends only on (a) the multiset of reference element
+strings, (b) the engine configuration, and (c) the logical contents of
+the searched collection.  (a) and (b) are folded into a fingerprint
+key; (c) is handled by *write generations*: every mutation of the
+service bumps a generation counter, and a cached entry is only served
+while its generation matches.  Stale entries are dropped lazily on
+lookup (and wholesale via :meth:`invalidate`), so a mutation costs O(1)
+no matter how full the cache is.
+
+Fingerprints use SHA-1 over a canonical JSON encoding.  Element order
+within a reference does not affect the exact result set (the matching
+is over the *set* of elements), so element strings are sorted --
+duplicates retained, because ``|R|`` counts them -- making the cache
+hit for any reordering of the same reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.core.config import SilkMothConfig
+
+
+def reference_fingerprint(elements: Sequence[str]) -> str:
+    """Stable digest of a reference's element multiset."""
+    canonical = json.dumps(sorted(elements), ensure_ascii=False)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: SilkMothConfig) -> str:
+    """Stable digest of every config field that can change results or
+    which pipeline ran (scheme/filters change work, not output, but two
+    configs are only "the same query" if they run the same way)."""
+    canonical = json.dumps(
+        {
+            "metric": config.metric.value,
+            "similarity": config.similarity.value,
+            "delta": config.delta,
+            "alpha": config.alpha,
+            "q": config.effective_q,
+            "scheme": config.scheme,
+            "check_filter": config.check_filter,
+            "nn_filter": config.nn_filter,
+            "reduction": config.reduction,
+            "size_filter": config.size_filter,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+class LRUQueryCache:
+    """Bounded LRU of query results with write-generation invalidation."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], tuple[int, object]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[str, str], generation: int):
+        """The cached value for *key* at *generation*, else ``None``.
+
+        An entry cached under an older generation is deleted on sight:
+        the collection has changed since, so the result may be stale.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_generation, value = entry
+        if cached_generation != generation:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple[str, str], generation: int, value) -> None:
+        """Cache *value* for *key* as of *generation* (LRU-evicting)."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (generation, value)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Generation checks already keep stale entries from being served,
+        so this exists to release memory eagerly after bulk mutations.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped

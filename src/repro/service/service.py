@@ -1,0 +1,306 @@
+"""`SilkMothService`: the engine wrapped as a long-lived, mutable server.
+
+The batch library builds an index once and answers queries by running
+the full signature/filter/verify pipeline.  The service keeps that
+engine resident and adds what online serving needs:
+
+* **mutations** -- :meth:`add_set`, :meth:`remove_set`,
+  :meth:`update_set`, backed by tombstones in the collection and lazy
+  posting deletion in the index, with a threshold-triggered
+  :meth:`compact`;
+* **caching** -- an LRU keyed by (reference fingerprint, config
+  fingerprint), invalidated by write generation, so hot references
+  skip the pipeline entirely;
+* **batching** -- :meth:`search_many` deduplicates a batch, serves
+  hits from the cache, and fans the cold remainder out across a
+  process pool;
+* **snapshots** -- :meth:`save` / :meth:`load` round-trip the live-set
+  membership and service metadata through the version-2 snapshot
+  format;
+* **observability** -- :attr:`stats` counts queries, hit rate,
+  mutations, compactions and per-query latency.
+
+Every answer remains exact: the engine skips tombstoned sets at
+candidate selection, so results always equal brute force over the
+logically live sets.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import SilkMothConfig
+from repro.core.engine import SearchResult, SilkMoth
+from repro.core.records import SetCollection, SetRecord
+from repro.io.persistence import load_service_snapshot, save_service_snapshot
+from repro.service.batch import parallel_cold_search, plan_batch
+from repro.service.cache import (
+    LRUQueryCache,
+    config_fingerprint,
+    reference_fingerprint,
+)
+from repro.service.stats import ServiceStats
+from repro.tokenize.tokenizers import Tokenizer
+
+
+class SilkMothService:
+    """A query-serving, mutable wrapper around one SilkMoth engine.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration; fixed for the service's lifetime (results
+        cached under its fingerprint).
+    collection:
+        Initial searched collection S (may carry tombstones, e.g. from
+        a snapshot).  ``None`` starts empty.
+    cache_capacity:
+        Maximum cached queries (0 disables caching).
+    compact_dead_fraction:
+        Compact the inverted index whenever at least this fraction of
+        its postings belongs to tombstoned sets.
+    """
+
+    def __init__(
+        self,
+        config: SilkMothConfig,
+        collection: SetCollection | None = None,
+        *,
+        cache_capacity: int = 1024,
+        compact_dead_fraction: float = 0.25,
+    ):
+        if not 0.0 < compact_dead_fraction <= 1.0:
+            raise ValueError(
+                "compact_dead_fraction must be in (0, 1], "
+                f"got {compact_dead_fraction}"
+            )
+        if collection is None:
+            collection = SetCollection(
+                Tokenizer(kind=config.similarity, q=config.effective_q)
+            )
+        self.engine = SilkMoth(collection, config)
+        self.cache = LRUQueryCache(cache_capacity)
+        self.stats = ServiceStats()
+        self.compact_dead_fraction = compact_dead_fraction
+        #: Bumped by every mutation; cached entries from older
+        #: generations are never served.
+        self.generation = 0
+        self._config_fp = config_fingerprint(config)
+
+    # -- convenience views ----------------------------------------------
+    @property
+    def config(self) -> SilkMothConfig:
+        return self.engine.config
+
+    @property
+    def collection(self) -> SetCollection:
+        return self.engine.collection
+
+    @property
+    def index(self):
+        return self.engine.index
+
+    def live_set_ids(self) -> list[int]:
+        """Ids of the logically live sets, ascending."""
+        return [record.set_id for record in self.collection.iter_live()]
+
+    def __len__(self) -> int:
+        """Number of live sets being served."""
+        return self.collection.live_count
+
+    # -- mutations ------------------------------------------------------
+    def _mutated(self) -> None:
+        self.generation += 1
+        if len(self.cache):
+            self.stats.invalidations += 1
+
+    def add_set(self, elements: Sequence[str]) -> SetRecord:
+        """Append one set; it is searchable immediately."""
+        record = self.engine.add_set(elements)
+        self.stats.adds += 1
+        self._mutated()
+        return record
+
+    def remove_set(self, set_id: int) -> SetRecord:
+        """Tombstone one set; it stops matching immediately."""
+        record = self.collection.remove_set(set_id)
+        self.index.note_removed(record)
+        self.stats.removes += 1
+        self._mutated()
+        self._maybe_compact()
+        return record
+
+    def update_set(self, set_id: int, elements: Sequence[str]) -> SetRecord:
+        """Replace one set's contents; returns the record under its new id.
+
+        Implemented as tombstone + append so posting lists stay
+        append-only; the old id is never reused.
+        """
+        old, record = self.collection.replace_set(set_id, elements)
+        self.index.note_removed(old)
+        self.index.add_record(record)
+        self.stats.updates += 1
+        self._mutated()
+        self._maybe_compact()
+        return record
+
+    def _maybe_compact(self) -> None:
+        if self.index.dead_fraction >= self.compact_dead_fraction:
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop tombstoned postings from the index now; returns how many."""
+        removed = self.index.compact()
+        if removed:
+            self.stats.compactions += 1
+        return removed
+
+    # -- queries --------------------------------------------------------
+    def _make_reference(self, elements: Sequence[str]) -> SetRecord:
+        """Tokenise a raw reference consistently with the served data.
+
+        Uses the non-interning path: a long-lived service must not grow
+        its vocabulary with every unseen query token.
+        """
+        return self.collection.query_set(elements)
+
+    def _search_cold(self, elements: Sequence[str]) -> list[SearchResult]:
+        reference = self._make_reference(elements)
+        return self.engine.search(reference)
+
+    def search(self, elements: Sequence[str]) -> list[SearchResult]:
+        """All live sets related to the raw reference *elements*.
+
+        Served from the cache when this reference (under this config)
+        was answered since the last mutation; otherwise one full
+        pipeline pass runs and the answer is cached.
+        """
+        key = (reference_fingerprint(elements), self._config_fp)
+        started = time.perf_counter()
+        cached = self.cache.get(key, self.generation)
+        if cached is not None:
+            self.stats.record_query(time.perf_counter() - started, True)
+            return list(cached)
+        results = self._search_cold(elements)
+        self.cache.put(key, self.generation, tuple(results))
+        self.stats.record_query(time.perf_counter() - started, False)
+        return results
+
+    def search_many(
+        self,
+        references: Sequence[Sequence[str]],
+        processes: int | None = None,
+    ) -> list[list[SearchResult]]:
+        """Answer a batch of references; one result list per input.
+
+        Exact duplicates within the batch are computed once; references
+        cached since the last mutation are served without touching the
+        pipeline; the cold remainder runs serially by default or fans
+        out across *processes* workers through
+        :mod:`repro.core.parallel` when ``processes > 1``.
+        """
+        self.stats.batches += 1
+        plan = plan_batch(references)
+        self.stats.batch_queries_deduplicated += plan.duplicates
+
+        answers: dict[str, tuple[SearchResult, ...]] = {}
+        cold: list[tuple[str, Sequence[str]]] = []
+        for fingerprint, elements in plan.unique.items():
+            started = time.perf_counter()
+            cached = self.cache.get(
+                (fingerprint, self._config_fp), self.generation
+            )
+            if cached is not None:
+                answers[fingerprint] = cached
+                self.stats.record_query(time.perf_counter() - started, True)
+            else:
+                cold.append((fingerprint, elements))
+
+        if cold and processes is not None and processes > 1:
+            started = time.perf_counter()
+            cold_results = parallel_cold_search(
+                self.collection,
+                self.config,
+                [elements for _, elements in cold],
+                processes,
+            )
+            # Pool latency is shared: attribute an equal slice per query.
+            share = (time.perf_counter() - started) / len(cold)
+            for (fingerprint, _), results in zip(cold, cold_results):
+                answers[fingerprint] = tuple(results)
+                self.cache.put(
+                    (fingerprint, self._config_fp),
+                    self.generation,
+                    answers[fingerprint],
+                )
+                self.stats.record_query(share, False)
+        else:
+            for fingerprint, elements in cold:
+                started = time.perf_counter()
+                results = tuple(self._search_cold(elements))
+                answers[fingerprint] = results
+                self.cache.put(
+                    (fingerprint, self._config_fp), self.generation, results
+                )
+                self.stats.record_query(time.perf_counter() - started, False)
+
+        output: list[list[SearchResult]] = []
+        emitted: set[str] = set()
+        for fingerprint in plan.fingerprints:
+            if fingerprint in emitted:
+                # Duplicate position: served from the batch's own answer.
+                self.stats.record_query(0.0, True)
+            emitted.add(fingerprint)
+            output.append(list(answers[fingerprint]))
+        return output
+
+    # -- snapshots ------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write a version-2 service snapshot (sets + tombstones + meta)."""
+        metadata = {
+            "generation": self.generation,
+            "config_fingerprint": self._config_fp,
+            "stats": self.stats.to_dict(),
+        }
+        save_service_snapshot(path, self.collection, metadata)
+        self.stats.snapshots_saved += 1
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        config: SilkMothConfig,
+        *,
+        cache_capacity: int = 1024,
+        compact_dead_fraction: float = 0.25,
+    ) -> "SilkMothService":
+        """Rebuild a service from a snapshot written by :meth:`save`.
+
+        Tokenizer settings are validated against *config* so a snapshot
+        cannot silently serve under the wrong similarity function.
+        Lifetime counters are restored only when the snapshot was
+        written under the same config fingerprint; otherwise they start
+        fresh (the write generation is restored either way).
+        """
+        collection, metadata = load_service_snapshot(
+            path,
+            expected_kind=config.similarity,
+            expected_q=config.effective_q,
+        )
+        service = cls(
+            config,
+            collection,
+            cache_capacity=cache_capacity,
+            compact_dead_fraction=compact_dead_fraction,
+        )
+        service.generation = int(metadata.get("generation", 0))
+        saved_stats = metadata.get("stats")
+        saved_fp = metadata.get("config_fingerprint")
+        if isinstance(saved_stats, dict) and saved_fp == service._config_fp:
+            # Only adopt lifetime counters recorded under the *same*
+            # config: a different delta/metric/scheme would silently mix
+            # unrelated traffic into hit rates and latency means.
+            service.stats = ServiceStats.from_dict(saved_stats)
+        return service

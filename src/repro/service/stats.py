@@ -1,0 +1,114 @@
+"""Service-level observability, layered on :mod:`repro.core.stats`.
+
+:class:`repro.core.stats.RunStats` counts what the *pipeline* did
+(candidates per funnel stage, one :class:`PassStats` per executed pass).
+:class:`ServiceStats` counts what the *service* did around it: queries
+served, cache hits and misses, mutations, compactions, invalidations,
+and per-query wall-clock latency.  A cache hit increments ``queries``
+and ``cache_hits`` but adds nothing to the engine's ``RunStats`` --
+which is exactly how tests assert that hot references skip the
+signature/filter/verify pipeline entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: How many recent per-query latencies the sliding window keeps.  The
+#: lifetime totals are tracked separately, so the window can stay small
+#: no matter how long the service runs.
+LATENCY_WINDOW = 1024
+
+#: Counter fields that round-trip through snapshot metadata.
+_COUNTER_FIELDS = (
+    "queries",
+    "cache_hits",
+    "cache_misses",
+    "batches",
+    "batch_queries_deduplicated",
+    "adds",
+    "removes",
+    "updates",
+    "compactions",
+    "invalidations",
+    "snapshots_saved",
+)
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters for one :class:`repro.service.SilkMothService`."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    batch_queries_deduplicated: int = 0
+    adds: int = 0
+    removes: int = 0
+    updates: int = 0
+    compactions: int = 0
+    invalidations: int = 0
+    snapshots_saved: int = 0
+    #: Lifetime sum of per-query wall-clock seconds (hits and misses).
+    query_seconds_total: float = 0.0
+    #: Sliding window of the most recent per-query latencies; bounded so
+    #: a long-lived service's memory does not grow with traffic.
+    query_latencies: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
+
+    @property
+    def mutations(self) -> int:
+        """Total mutation count (adds + removes + updates)."""
+        return self.adds + self.removes + self.updates
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries served from the cache."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def total_query_seconds(self) -> float:
+        return self.query_seconds_total
+
+    @property
+    def mean_query_seconds(self) -> float:
+        return self.query_seconds_total / self.queries if self.queries else 0.0
+
+    def record_query(self, latency: float, cache_hit: bool) -> None:
+        """Fold one served query into the counters."""
+        self.queries += 1
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.query_seconds_total += latency
+        self.query_latencies.append(latency)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (service snapshot metadata / CLI)."""
+        payload = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+        payload["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        payload["mutations"] = self.mutations
+        payload["query_seconds_total"] = self.query_seconds_total
+        payload["mean_query_seconds"] = self.mean_query_seconds
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceStats":
+        """Rebuild lifetime counters from :meth:`to_dict` output.
+
+        The latency window is not persisted (it is a recent-traffic
+        view), but the lifetime totals and means survive.
+        """
+        stats = cls()
+        for name in _COUNTER_FIELDS:
+            value = payload.get(name, 0)
+            if isinstance(value, int) and not isinstance(value, bool):
+                setattr(stats, name, value)
+        total = payload.get("query_seconds_total", 0.0)
+        if isinstance(total, (int, float)) and not isinstance(total, bool):
+            stats.query_seconds_total = float(total)
+        return stats

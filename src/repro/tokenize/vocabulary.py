@@ -36,6 +36,32 @@ class Vocabulary:
         """Intern every token in order, preserving duplicates."""
         return [self.intern(token) for token in tokens]
 
+    def resolve_all(
+        self, tokens: list[str], ephemeral: dict[str, int] | None = None
+    ) -> list[int]:
+        """Map tokens to ids WITHOUT interning unseen ones.
+
+        Unseen tokens get ephemeral negative ids (distinct per distinct
+        unseen string), which can never collide with interned ids
+        (always >= 0) and hence never match any indexed token.  Pass a
+        shared *ephemeral* dict to keep those ids consistent across
+        several calls (e.g. all elements of one query reference).
+        Query-side tokenisation uses this so serving arbitrary
+        reference traffic cannot grow the shared vocabulary.
+        """
+        if ephemeral is None:
+            ephemeral = {}
+        ids: list[int] = []
+        for token in tokens:
+            token_id = self._token_to_id.get(token)
+            if token_id is None:
+                token_id = ephemeral.get(token)
+                if token_id is None:
+                    token_id = -1 - len(ephemeral)
+                    ephemeral[token] = token_id
+            ids.append(token_id)
+        return ids
+
     def id_of(self, token: str) -> int | None:
         """Return the id of *token*, or None if it was never interned."""
         return self._token_to_id.get(token)

@@ -334,3 +334,69 @@ class TestConsoleEntryPoint:
         )
         assert completed.returncode == 0
         assert "sets:" in completed.stdout
+
+
+class TestServiceCommands:
+    def _snapshot(self, titles, tmp_path, extra=()):
+        path = tmp_path / "svc.json"
+        code = main(
+            ["service", "snapshot", str(titles), "--delta", "0.5", "--quiet",
+             "--output", str(path), *extra]
+        )
+        assert code == 0
+        return path
+
+    def test_snapshot_and_info(self, titles, tmp_path, capsys):
+        path = self._snapshot(titles, tmp_path, extra=["--remove", "2"])
+        assert main(["service", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "live sets:    2" in out
+        assert "tombstones:   1 [2]" in out
+
+    def test_query_serves_batch_with_cache(self, titles, tmp_path, capsys):
+        path = self._snapshot(titles, tmp_path)
+        code = main(
+            ["service", "query", str(path), "--references", str(titles),
+             "--delta", "0.5", "--repeat", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("reference\tset\tscore\trelatedness")
+        assert "cache hit rate" in captured.err
+
+    def test_query_rejects_nonpositive_repeat(self, titles, tmp_path, capsys):
+        path = self._snapshot(titles, tmp_path)
+        code = main(
+            ["service", "query", str(path), "--references", str(titles),
+             "--repeat", "0"]
+        )
+        assert code == 1
+        assert "--repeat must be >= 1" in capsys.readouterr().err
+
+    def test_query_rejects_mismatched_similarity(self, titles, tmp_path, capsys):
+        path = self._snapshot(titles, tmp_path)
+        code = main(
+            ["service", "query", str(path), "--references", str(titles),
+             "--sim", "eds", "--alpha", "0.8"]
+        )
+        assert code == 2
+        assert "tokenised for 'jaccard'" in capsys.readouterr().err
+
+    def test_snapshot_rejects_bad_remove_id(self, titles, tmp_path, capsys):
+        code = main(
+            ["service", "snapshot", str(titles), "--remove", "99",
+             "--output", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_removed_set_never_served(self, titles, tmp_path, capsys):
+        path = self._snapshot(titles, tmp_path, extra=["--remove", "0"])
+        code = main(
+            ["service", "query", str(path), "--references", str(titles),
+             "--delta", "0.5", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [line.split("\t") for line in out.strip().splitlines()[1:]]
+        assert all(row[1] != "0" for row in rows)

@@ -101,3 +101,73 @@ class TestInvertedIndex:
         index = InvertedIndex(collection)
         # "ab" padded to "ab##" (two pad chars) yields grams "ab#", "b##".
         assert index.total_postings() == 2
+
+
+class TestTombstones:
+    def test_remove_keeps_positions(self, jaccard_collection):
+        record = jaccard_collection.remove_set(1)
+        assert record.set_id == 1
+        assert len(jaccard_collection) == 3          # positional length
+        assert jaccard_collection.live_count == 2
+        assert jaccard_collection.deleted_ids == {1}
+        assert not jaccard_collection.is_live(1)
+        assert [r.set_id for r in jaccard_collection.iter_live()] == [0, 2]
+
+    def test_remove_out_of_range(self, jaccard_collection):
+        with pytest.raises(KeyError, match="out of range"):
+            jaccard_collection.remove_set(5)
+
+    def test_remove_twice(self, jaccard_collection):
+        jaccard_collection.remove_set(0)
+        with pytest.raises(KeyError, match="already removed"):
+            jaccard_collection.remove_set(0)
+
+    def test_replace_set_appends_under_new_id(self, jaccard_collection):
+        old, record = jaccard_collection.replace_set(0, ["x y"])
+        assert old.set_id == 0
+        assert record.set_id == 3
+        assert not jaccard_collection.is_live(0)
+        assert jaccard_collection.is_live(3)
+        assert jaccard_collection.live_count == 3
+
+
+class TestIndexMutability:
+    def test_out_of_order_add_record_keeps_postings_sorted(self):
+        collection = SetCollection.from_strings([["a b"], ["b c"], ["a c"]])
+        index = InvertedIndex(collection)
+        # Re-add set 0's record after the others: simulates a caller
+        # that indexes records in arbitrary order.
+        empty = SetCollection.from_strings([], vocabulary=collection.vocabulary)
+        rebuilt = InvertedIndex(empty)
+        for set_id in (2, 0, 1):
+            rebuilt.add_record(collection[set_id])
+        for token in range(len(collection.vocabulary)):
+            assert rebuilt.postings(token) == index.postings(token)
+            assert rebuilt.postings(token) == sorted(rebuilt.postings(token))
+
+    def test_lazy_removal_then_compact(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        before = index.total_postings()
+        record = jaccard_collection.remove_set(0)
+        index.note_removed(record)
+        assert index.total_postings() == before      # lazy: nothing dropped
+        assert index.dead_fraction > 0.0
+        removed = index.compact()
+        assert removed == 5                          # set0 contributed 5 postings
+        assert index.total_postings() == before - 5
+        assert index.dead_fraction == 0.0
+        assert index.compactions == 1
+        deleted = jaccard_collection.deleted_ids
+        for token in range(len(jaccard_collection.vocabulary)):
+            assert all(p.set_id not in deleted for p in index.postings(token))
+
+    def test_compact_without_tombstones_is_noop(self, jaccard_collection):
+        index = InvertedIndex(jaccard_collection)
+        assert index.compact() == 0
+        assert index.compactions == 0
+
+    def test_index_over_tombstoned_collection_accounts_dead(self, jaccard_collection):
+        jaccard_collection.remove_set(2)
+        index = InvertedIndex(jaccard_collection)
+        assert index.dead_fraction > 0.0
+        assert index.compact() == 2                  # set2: "a" + "h"

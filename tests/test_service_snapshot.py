@@ -1,0 +1,231 @@
+"""Version-2 service snapshots and persistence failure paths.
+
+Round-trips must preserve query results and live-set membership; every
+malformed input (wrong format, unsupported version, truncated JSON,
+mismatched tokenizer settings) must fail with a clear ``ValueError``
+rather than silently serving wrong results.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.io.persistence import (
+    load_collection,
+    load_service_snapshot,
+    save_collection,
+    save_service_snapshot,
+)
+from repro.service import SilkMothService
+from repro.sim.functions import SimilarityKind
+
+
+def _populated_service(tmp_path):
+    rng = random.Random(23)
+    vocab = [f"w{i}" for i in range(10)]
+    config = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.5)
+    service = SilkMothService(config)
+    for _ in range(12):
+        service.add_set(
+            [
+                " ".join(rng.sample(vocab, rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 3))
+            ]
+        )
+    service.remove_set(3)
+    service.update_set(7, ["w0 w1", "w2"])
+    return service, config
+
+
+class TestRoundTrip:
+    def test_live_membership_and_results_survive(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        path = tmp_path / "service.json"
+        service.save(path)
+        restored = SilkMothService.load(path, config)
+
+        assert restored.live_set_ids() == service.live_set_ids()
+        assert restored.collection.deleted_ids == service.collection.deleted_ids
+        for reference in (["w0 w1"], ["w2 w3", "w4"], ["w9"]):
+            assert [
+                (r.set_id, round(r.score, 9)) for r in restored.search(reference)
+            ] == [(r.set_id, round(r.score, 9)) for r in service.search(reference)]
+
+    def test_generation_survives(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        path = tmp_path / "service.json"
+        service.save(path)
+        restored = SilkMothService.load(path, config)
+        assert restored.generation == service.generation
+
+    def test_metadata_carries_stats(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        service.search(["w0 w1"])
+        path = tmp_path / "service.json"
+        service.save(path)
+        _, metadata = load_service_snapshot(path)
+        assert metadata["stats"]["queries"] == 1
+        assert metadata["stats"]["mutations"] == service.stats.mutations
+
+    def test_lifetime_counters_survive_restart(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        service.search(["w0 w1"])
+        service.search(["w0 w1"])  # hit
+        path = tmp_path / "service.json"
+        service.save(path)
+        restored = SilkMothService.load(path, config)
+        assert restored.stats.queries == service.stats.queries
+        assert restored.stats.cache_hits == service.stats.cache_hits
+        assert restored.stats.mutations == service.stats.mutations
+        assert restored.stats.query_seconds_total == pytest.approx(
+            service.stats.query_seconds_total
+        )
+
+    def test_counters_not_adopted_under_different_config(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        service.search(["w0 w1"])
+        path = tmp_path / "service.json"
+        service.save(path)
+        other = SilkMothConfig(metric=Relatedness.CONTAINMENT, delta=0.9)
+        restored = SilkMothService.load(path, other)
+        # Different delta: lifetime counters start fresh, generation stays.
+        assert restored.stats.queries == 0
+        assert restored.generation == service.generation
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        path = tmp_path / "service.json"
+        service.save(path)
+        service.save(path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["service.json"]
+
+    def test_load_collection_reads_v2_with_tombstones(self, tmp_path):
+        service, _ = _populated_service(tmp_path)
+        path = tmp_path / "service.json"
+        service.save(path)
+        collection = load_collection(path)
+        assert collection.deleted_ids == service.collection.deleted_ids
+        assert collection.live_count == service.collection.live_count
+
+    def test_service_adopts_v1_snapshot(self, tmp_path):
+        from repro.core.records import SetCollection
+
+        collection = SetCollection.from_strings([["a b"], ["c d"]])
+        path = tmp_path / "plain.json"
+        save_collection(path, collection)
+        service = SilkMothService.load(path, SilkMothConfig(delta=0.5))
+        assert service.live_set_ids() == [0, 1]
+        assert service.generation == 0
+
+    def test_save_load_save_is_stable(self, tmp_path):
+        service, config = _populated_service(tmp_path)
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        service.save(first)
+        restored = SilkMothService.load(first, config)
+        restored.save(second)
+        a = json.loads(first.read_text())
+        b = json.loads(second.read_text())
+        assert a["sets"] == b["sets"]
+        assert a["deleted"] == b["deleted"]
+
+
+class TestFailurePaths:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(ValueError, match="not a silkmoth-collection"):
+            load_service_snapshot(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format": "silkmoth-collection", "version": 99, '
+            '"similarity": "jaccard", "q": 1, "sets": []}'
+        )
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            load_service_snapshot(path)
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            load_collection(path)
+
+    def test_truncated_json_rejected(self, tmp_path):
+        service, _ = _populated_service(tmp_path)
+        path = tmp_path / "whole.json"
+        service.save(path)
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            load_service_snapshot(truncated)
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            load_collection(truncated)
+
+    def test_mismatched_similarity_rejected(self, tmp_path):
+        service, _ = _populated_service(tmp_path)
+        path = tmp_path / "service.json"
+        service.save(path)
+        with pytest.raises(ValueError, match="tokenised for 'jaccard'"):
+            load_service_snapshot(path, expected_kind=SimilarityKind.EDS)
+        with pytest.raises(ValueError, match="tokenised for"):
+            SilkMothService.load(
+                path, SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.8)
+            )
+
+    def test_mismatched_q_rejected(self, tmp_path):
+        from repro.core.records import SetCollection
+
+        collection = SetCollection.from_strings(
+            [["silkmoth"]], kind=SimilarityKind.EDS, q=3
+        )
+        path = tmp_path / "eds.json"
+        save_service_snapshot(path, collection)
+        with pytest.raises(ValueError, match="q=3, expected q=2"):
+            load_service_snapshot(
+                path, expected_kind=SimilarityKind.EDS, expected_q=2
+            )
+
+    def test_invalid_tombstone_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "silkmoth-collection",
+                    "version": 2,
+                    "similarity": "jaccard",
+                    "q": 1,
+                    "sets": [["a"]],
+                    "deleted": [5],
+                    "service": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="invalid tombstoned set id"):
+            load_service_snapshot(path)
+
+    def test_duplicate_tombstone_id_rejected(self, tmp_path):
+        path = tmp_path / "dup.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "silkmoth-collection",
+                    "version": 2,
+                    "similarity": "jaccard",
+                    "q": 1,
+                    "sets": [["a"], ["b"]],
+                    "deleted": [0, 0],
+                    "service": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="repeats a set id"):
+            load_service_snapshot(path)
+
+    def test_malformed_similarity_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "silkmoth-collection", "version": 1, '
+            '"similarity": "nope", "q": 1, "sets": []}'
+        )
+        with pytest.raises(ValueError, match="malformed snapshot"):
+            load_collection(path)
