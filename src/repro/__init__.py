@@ -53,8 +53,10 @@ from repro.sim.functions import (
 )
 from repro.sim.levenshtein import levenshtein
 from repro.matching.score import matching_score
+from repro.backends import available_backends, get_backend
 from repro.baselines.brute_force import brute_force_discover, brute_force_search
 from repro.baselines.fastjoin import FastJoinBaseline
+from repro.pipeline import QueryPlan
 from repro.service import ServiceStats, SilkMothService
 
 __version__ = "1.0.0"
@@ -65,6 +67,7 @@ __all__ = [
     "ElementRecord",
     "Explanation",
     "FastJoinBaseline",
+    "QueryPlan",
     "Relatedness",
     "SearchResult",
     "ServiceStats",
@@ -77,6 +80,7 @@ __all__ = [
     "SimilarityKind",
     "TopKResult",
     "TopKSearcher",
+    "available_backends",
     "brute_force_discover",
     "brute_force_search",
     "cluster_related_sets",
@@ -85,6 +89,7 @@ __all__ = [
     "eds",
     "explain",
     "format_explanation",
+    "get_backend",
     "jaccard",
     "levenshtein",
     "matching_alignment",

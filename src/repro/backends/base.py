@@ -1,0 +1,151 @@
+"""The compute-backend interface and shared sparse-matrix helpers.
+
+A :class:`ComputeBackend` supplies the numeric kernels the staged query
+pipeline (:mod:`repro.pipeline`) is built on: columnar filtering of
+candidate batches, batched element-similarity evaluation, and the
+maximum-weight-matching solve used by verification.  The pipeline and
+filters hold the *logic* (which candidates to compare, when to stop);
+backends hold the *arithmetic*, so swapping pure Python for numpy (or,
+later, anything else) cannot change results -- only speed.
+
+Weight matrices are intentionally opaque: the Python backend uses lists
+of lists, the numpy backend an ndarray, and only the backend that built
+a matrix consumes it (via :meth:`ComputeBackend.assignment_score`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from typing import Callable, Iterator, Sequence
+
+from repro.core.records import SetRecord
+from repro.sim.functions import SimilarityFunction
+
+
+def iter_token_pairs(
+    reference: SetRecord, candidate: SetRecord
+) -> Iterator[tuple[int, frozenset[int], set[int]]]:
+    """Yield ``(i, r_tokens, touched columns)`` for token-sharing pairs.
+
+    Every token-based kind scores 0 on a pair of elements without a
+    common token, so a backend filling a weight matrix only needs the
+    pairs this yields; all other entries stay 0.
+    """
+    by_token: defaultdict[int, list[int]] = defaultdict(list)
+    for j, s in enumerate(candidate.elements):
+        for token in s.index_tokens:
+            by_token[token].append(j)
+    for i, r in enumerate(reference.elements):
+        touched: set[int] = set()
+        for token in r.index_tokens:
+            touched.update(by_token.get(token, ()))
+        yield i, r.index_tokens, touched
+
+
+def fill_weight_matrix(
+    reference: SetRecord,
+    candidate: SetRecord,
+    phi: SimilarityFunction,
+    set_entry: Callable[[int, int, float], None],
+) -> None:
+    """Write every non-zero ``phi_alpha`` weight through *set_entry*.
+
+    Shared by all backends so the sparsity logic (token-sharing pairs
+    under token kinds, banded Levenshtein under edit kinds) exists once.
+    """
+    if phi.kind.is_token_based:
+        # Two elements without a common token score 0 -- except the
+        # degenerate empty/empty pair, which every token kind defines
+        # as similarity 1 and the index can never surface.
+        empty_cols = [
+            j for j, s in enumerate(candidate.elements) if not s.index_tokens
+        ]
+        empty_weight = phi.threshold(1.0)
+        for i, r_tokens, touched in iter_token_pairs(reference, candidate):
+            for j in touched:
+                set_entry(
+                    i, j, phi.tokens(r_tokens, candidate.elements[j].index_tokens)
+                )
+            if not r_tokens and empty_weight > 0.0:
+                for j in empty_cols:
+                    set_entry(i, j, empty_weight)
+        return
+    banded = phi.alpha > 0.0
+    for i, r in enumerate(reference.elements):
+        for j, s in enumerate(candidate.elements):
+            if banded:
+                # The banded Levenshtein bails out as soon as a pair
+                # provably scores below alpha (thresholded weight 0).
+                weight = phi.edit_at_least(r.text, s.text, 0.0)
+            else:
+                weight = phi(r.text, s.text)
+            if weight > 0.0:
+                set_entry(i, j, weight)
+
+
+class ComputeBackend(abc.ABC):
+    """Numeric kernels behind the staged pipeline.
+
+    Implementations must be *exact* drop-ins for one another: the
+    pipeline's property tests assert identical results across backends
+    on identical inputs.
+    """
+
+    #: Registry name (``SilkMothConfig.backend`` / ``SILKMOTH_BACKEND``).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Columnar candidate-batch kernels
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def size_filter_indices(
+        self, sizes: Sequence[int], lo: float, hi: float
+    ) -> list[int]:
+        """Indices k with ``lo <= sizes[k] <= hi``."""
+
+    @abc.abstractmethod
+    def threshold_indices(
+        self, values: Sequence[float], cutoff: float
+    ) -> list[int]:
+        """Indices k with ``values[k] >= cutoff``."""
+
+    @abc.abstractmethod
+    def add_scalar(self, scalar: float, values: Sequence[float]) -> list[float]:
+        """Elementwise ``scalar + values`` (check-filter bound aggregation)."""
+
+    # ------------------------------------------------------------------
+    # Similarity kernels
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def token_similarities(
+        self,
+        probe: frozenset[int],
+        targets: Sequence[frozenset[int]],
+        phi: SimilarityFunction,
+    ) -> list[float]:
+        """``phi_alpha(probe, t)`` for each token-id set in *targets*.
+
+        Token-based kinds only; semantics identical to
+        :meth:`repro.sim.functions.SimilarityFunction.tokens` per entry.
+        """
+
+    # ------------------------------------------------------------------
+    # Verification kernels
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def weight_matrix(
+        self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
+    ):
+        """Pairwise ``phi_alpha`` weight matrix (backend-opaque type)."""
+
+    @abc.abstractmethod
+    def assignment_score(self, matrix) -> float:
+        """Maximum-weight bipartite matching score of a weight matrix."""
+
+    @abc.abstractmethod
+    def matrix_entry(self, matrix, i: int, j: int) -> float:
+        """Read one entry of a matrix built by :meth:`weight_matrix`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,113 @@
+"""The numpy compute backend.
+
+Importing this module requires numpy (the registry imports it lazily
+and falls back to the Python backend when the import fails).  The
+kernels vectorise the arithmetic the pipeline runs per candidate batch:
+size and threshold masks, the check-filter bound aggregation, the
+token-similarity formulas, and the Hungarian solve's inner column scan.
+
+Set intersections still happen on Python ``frozenset`` objects -- they
+are already C-level operations, and keeping them shared with the Python
+backend guarantees both see identical token semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import ComputeBackend, fill_weight_matrix
+from repro.core.records import SetRecord
+from repro.matching.hungarian import hungarian_max_weight_numpy
+from repro.sim.functions import SimilarityFunction, SimilarityKind
+
+
+class NumpyBackend(ComputeBackend):
+    """Vectorised kernels; bit-identical to :class:`PythonBackend`."""
+
+    name = "numpy"
+
+    # -- columnar kernels ----------------------------------------------
+    def size_filter_indices(
+        self, sizes: Sequence[int], lo: float, hi: float
+    ) -> list[int]:
+        if not len(sizes):
+            return []
+        array = np.asarray(sizes, dtype=np.float64)
+        return np.flatnonzero((array >= lo) & (array <= hi)).tolist()
+
+    def threshold_indices(
+        self, values: Sequence[float], cutoff: float
+    ) -> list[int]:
+        if not len(values):
+            return []
+        return np.flatnonzero(np.asarray(values, dtype=np.float64) >= cutoff).tolist()
+
+    def add_scalar(self, scalar: float, values: Sequence[float]) -> list[float]:
+        if not len(values):
+            return []
+        return (scalar + np.asarray(values, dtype=np.float64)).tolist()
+
+    # -- similarity kernels --------------------------------------------
+    def token_similarities(
+        self,
+        probe: frozenset[int],
+        targets: Sequence[frozenset[int]],
+        phi: SimilarityFunction,
+    ) -> list[float]:
+        count = len(targets)
+        if count == 0:
+            return []
+        inter = np.fromiter(
+            (len(probe & target) for target in targets),
+            dtype=np.float64,
+            count=count,
+        )
+        sizes = np.fromiter(
+            (len(target) for target in targets), dtype=np.float64, count=count
+        )
+        probe_size = float(len(probe))
+        if probe_size == 0.0:
+            # Matches the scalar functions: sim(empty, empty) == 1.0.
+            scores = np.where(sizes == 0.0, 1.0, 0.0)
+        else:
+            kind = phi.kind
+            if kind is SimilarityKind.JACCARD:
+                denominator = probe_size + sizes - inter
+            elif kind is SimilarityKind.DICE:
+                inter = 2.0 * inter
+                denominator = probe_size + sizes
+            elif kind is SimilarityKind.COSINE:
+                denominator = np.sqrt(probe_size * sizes)
+            elif kind is SimilarityKind.OVERLAP:
+                denominator = np.minimum(probe_size, sizes)
+            else:
+                raise ValueError(
+                    f"token_similarities requires a token-based kind, got {kind}"
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scores = np.where(denominator > 0.0, inter / denominator, 0.0)
+        if phi.alpha > 0.0:
+            scores = np.where(scores >= phi.alpha, scores, 0.0)
+        return scores.tolist()
+
+    # -- verification kernels ------------------------------------------
+    def weight_matrix(
+        self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
+    ) -> np.ndarray:
+        matrix = np.zeros((len(reference), len(candidate)))
+
+        def set_entry(i: int, j: int, weight: float) -> None:
+            matrix[i, j] = weight
+
+        fill_weight_matrix(reference, candidate, phi, set_entry)
+        return matrix
+
+    def assignment_score(self, matrix: np.ndarray) -> float:
+        if matrix.size == 0:
+            return 0.0
+        return hungarian_max_weight_numpy(matrix)
+
+    def matrix_entry(self, matrix: np.ndarray, i: int, j: int) -> float:
+        return float(matrix[i, j])

@@ -9,13 +9,9 @@ unoptimised anchor.
 from __future__ import annotations
 
 from repro.core.config import Relatedness, SilkMothConfig
-from repro.core.engine import (
-    EPSILON,
-    DiscoveryResult,
-    SearchResult,
-    relatedness_value,
-)
+from repro.core.constants import EPSILON
 from repro.core.records import SetCollection, SetRecord
+from repro.core.results import DiscoveryResult, SearchResult, relatedness_value
 from repro.matching.score import matching_score
 
 

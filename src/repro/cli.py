@@ -33,6 +33,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.backends import KNOWN_BACKENDS
 from repro.core.config import Relatedness, SilkMothConfig
 from repro.core.engine import SilkMoth
 from repro.core.records import SetCollection
@@ -88,6 +89,7 @@ def build_config(args: argparse.Namespace) -> SilkMothConfig:
         check_filter=not args.no_check_filter,
         nn_filter=not args.no_nn_filter,
         reduction=not args.no_reduction,
+        backend=None if args.backend == "auto" else args.backend,
     )
 
 
@@ -146,6 +148,15 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         "--no-reduction",
         action="store_true",
         help="disable reduction-based verification",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + KNOWN_BACKENDS,
+        default="auto",
+        help=(
+            "compute backend for the pipeline kernels (default: auto -- "
+            "SILKMOTH_BACKEND env var, then numpy when installed)"
+        ),
     )
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.backends import KNOWN_BACKENDS
 from repro.sim.functions import SimilarityFunction, SimilarityKind
 from repro.tokenize.tokenizers import max_q_for_alpha
 
@@ -45,6 +46,11 @@ class SilkMothConfig:
         SET-SIMILARITY compares only similar-size sets; containment
         needs ``|S| >= delta |R|``).  Toggleable for ablation only --
         the gate is always sound.
+    backend:
+        Compute backend name (``"python"`` or ``"numpy"``).  ``None``
+        defers to the ``SILKMOTH_BACKEND`` environment variable and
+        then auto-selects (numpy when installed).  The backend affects
+        speed only, never results.
     """
 
     metric: Relatedness = Relatedness.SIMILARITY
@@ -57,6 +63,7 @@ class SilkMothConfig:
     nn_filter: bool = True
     reduction: bool = True
     size_filter: bool = True
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.delta <= 1.0:
@@ -65,6 +72,11 @@ class SilkMothConfig:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
         if self.q is not None and self.q < 1:
             raise ValueError(f"q must be >= 1, got {self.q}")
+        if self.backend is not None and self.backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {KNOWN_BACKENDS} or None, "
+                f"got {self.backend!r}"
+            )
 
     @property
     def phi(self) -> SimilarityFunction:

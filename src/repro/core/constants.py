@@ -1,0 +1,17 @@
+"""Numeric constants shared across the pipeline.
+
+``EPSILON`` is the single float-comparison tolerance used everywhere a
+computed quantity is compared against ``delta`` or ``theta``: signature
+generation, the check and nearest-neighbour filters, the size gate, and
+final verification.  Every comparison reads ``>= threshold - EPSILON``
+so float noise in an exactly-at-threshold score can never drop a
+related set (soundness over tightness: at worst an unrelated candidate
+within 1e-9 of the threshold is verified and then rejected exactly).
+
+It lives in its own module so any layer (tokenizers, similarity
+functions, signatures, filters, engine) can import it without pulling
+in the engine.
+"""
+
+#: Tolerance for floating-point comparisons against delta/theta.
+EPSILON = 1e-9

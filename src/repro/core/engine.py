@@ -6,59 +6,32 @@ inverted index.  :meth:`search` runs one pass for a reference set
 (RELATED SET DISCOVERY).  The output is exact: identical to brute force
 for every configuration (Lemma 1 guarantees the signatures are valid,
 Sections 5.1-5.2 that the filters only drop provably unrelated sets).
+
+Since the staged-pipeline refactor the engine is a thin driver: every
+pass is a :class:`repro.pipeline.QueryPlan` (signature ->
+candidate-select -> check -> nn-filter -> verify) executed on the
+configured compute backend.  The process-pool, partitioned and service
+drivers build the very same plans, so there is exactly one query path.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.config import Relatedness, SilkMothConfig
+from repro.backends import get_backend
+from repro.core.config import SilkMothConfig
+from repro.core.constants import EPSILON  # noqa: F401  (re-export: legacy import site)
 from repro.core.records import SetCollection, SetRecord
+from repro.core.results import (  # noqa: F401  (re-exports: legacy import sites)
+    DiscoveryResult,
+    SearchResult,
+    relatedness_value,
+)
 from repro.core.stats import PassStats, RunStats
-from repro.filters.check import CandidateInfo, select_and_check
-from repro.filters.nearest_neighbor import nearest_neighbor_filter
 from repro.index.inverted import InvertedIndex
-from repro.matching.reduction import reduced_matching_score
-from repro.matching.score import matching_score
+from repro.pipeline.driver import search_rows
+from repro.pipeline.plan import QueryPlan
 from repro.signatures import get_scheme
-
-#: Tolerance for floating-point comparisons against delta/theta.
-EPSILON = 1e-9
-
-
-@dataclass(frozen=True)
-class SearchResult:
-    """One related set found for a reference."""
-
-    set_id: int
-    score: float        # the maximum matching score |R ~cap~ S|
-    relatedness: float  # similar() or contain() value
-
-
-@dataclass(frozen=True)
-class DiscoveryResult:
-    """One related pair found in discovery mode."""
-
-    reference_id: int
-    set_id: int
-    score: float
-    relatedness: float
-
-
-def relatedness_value(
-    metric: Relatedness, score: float, ref_size: int, cand_size: int
-) -> float:
-    """similar() or contain() from a matching score (Definitions 1-2)."""
-    if ref_size == 0:
-        return 0.0
-    if metric is Relatedness.CONTAINMENT:
-        return score / ref_size
-    denominator = ref_size + cand_size - score
-    if denominator <= 0.0:
-        return 1.0
-    return score / denominator
 
 
 class SilkMoth:
@@ -70,7 +43,8 @@ class SilkMoth:
         The searched collection S.  Its vocabulary is shared with any
         reference collection built through :meth:`reference_collection`.
     config:
-        Thresholds, metric, scheme and optimisation toggles.
+        Thresholds, metric, scheme, compute backend and optimisation
+        toggles.
     """
 
     def __init__(
@@ -99,6 +73,7 @@ class SilkMoth:
         self.phi = config.phi
         self.index = index if index is not None else InvertedIndex(collection)
         self.scheme = get_scheme(config.scheme)
+        self.backend = get_backend(config.backend)
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -122,6 +97,20 @@ class SilkMoth:
         self.index.add_record(record)
         return record
 
+    def plan(
+        self, reference: SetRecord, skip_set: int | None = None
+    ) -> QueryPlan:
+        """The staged :class:`QueryPlan` one search pass will execute."""
+        return QueryPlan.build(
+            reference=reference,
+            config=self.config,
+            collection=self.collection,
+            index=self.index,
+            scheme=self.scheme,
+            backend=self.backend,
+            skip_set=skip_set,
+        )
+
     def search(
         self, reference: SetRecord, skip_set: int | None = None
     ) -> list[SearchResult]:
@@ -133,18 +122,9 @@ class SilkMoth:
         self, reference: SetRecord, skip_set: int | None = None
     ) -> tuple[list[SearchResult], PassStats]:
         """:meth:`search` plus the pass's funnel counters."""
-        stats = PassStats()
-        theta = self.config.delta * len(reference)
         if len(reference) == 0:
-            return [], stats
-
-        signature = self.scheme.generate(
-            reference, theta - EPSILON, self.phi, self.index
-        )
-        candidate_infos = self._candidates(
-            reference, signature, theta, stats, skip_set
-        )
-        results = self._verify(reference, candidate_infos, theta, stats)
+            return [], PassStats(backend=self.backend.name)
+        results, stats = self.plan(reference, skip_set=skip_set).execute()
         self.stats.add(stats)
         return results, stats
 
@@ -156,128 +136,16 @@ class SilkMoth:
         With ``references=None`` (self-discovery, R = S) each unordered
         pair is reported once under SET-SIMILARITY (which is symmetric)
         and both directions are searched under SET-CONTAINMENT; self
-        pairs are always excluded.
+        pairs are always excluded.  The pair rules are shared with the
+        parallel and partitioned drivers via
+        :func:`repro.pipeline.driver.search_rows`.
         """
         self_mode = references is None
         refs = self.collection if self_mode else references
-        symmetric = self.config.metric is Relatedness.SIMILARITY
         output: list[DiscoveryResult] = []
         for reference in refs.iter_live():
-            skip = reference.set_id if self_mode else None
-            for result in self.search(reference, skip_set=skip):
-                if self_mode and symmetric and result.set_id < reference.set_id:
-                    continue  # reported when the roles were swapped
-                output.append(
-                    DiscoveryResult(
-                        reference_id=reference.set_id,
-                        set_id=result.set_id,
-                        score=result.score,
-                        relatedness=result.relatedness,
-                    )
-                )
+            for row in search_rows(
+                self, reference, reference.set_id, self_mode=self_mode
+            ):
+                output.append(DiscoveryResult(*row))
         return output
-
-    # ------------------------------------------------------------------
-    # Pipeline stages
-    # ------------------------------------------------------------------
-    def _size_range(self, reference: SetRecord) -> tuple[float, float]:
-        """Cardinality bounds a candidate must satisfy (footnote 6).
-
-        SET-SIMILARITY: ``delta * |R| <= |S| <= |R| / delta``.
-        SET-CONTAINMENT: ``|S| >= delta * |R|`` (score is at most |S|).
-        """
-        if not self.config.size_filter:
-            return (-math.inf, math.inf)
-        delta = self.config.delta
-        n = len(reference)
-        if self.config.metric is Relatedness.SIMILARITY:
-            return (delta * n - EPSILON, n / delta + EPSILON)
-        return (delta * n - EPSILON, math.inf)
-
-    def _candidates(
-        self,
-        reference: SetRecord,
-        signature,
-        theta: float,
-        stats: PassStats,
-        skip_set: int | None,
-    ) -> list[CandidateInfo]:
-        size_range = self._size_range(reference)
-        if signature is None:
-            # No valid signature exists (Section 7.3): full scan.
-            stats.full_scan = True
-            infos = [
-                CandidateInfo(record.set_id)
-                for record in self.collection.iter_live()
-                if record.set_id != skip_set
-                and size_range[0] <= len(record) <= size_range[1]
-            ]
-            stats.initial_candidates = len(infos)
-            stats.after_check = len(infos)
-            stats.after_nn = len(infos)
-            return infos
-
-        stats.signature_tokens = len(signature.tokens)
-        infos = select_and_check(
-            reference,
-            signature,
-            self.index,
-            self.phi,
-            theta - EPSILON,
-            self.collection,
-            apply_check=False,
-            size_range=size_range,
-            skip_set=skip_set,
-        )
-        stats.initial_candidates = len(infos)
-
-        if self.config.check_filter:
-            bounds = signature.element_bounds
-            infos = [
-                info
-                for info in infos
-                if info.estimate(bounds) >= theta - EPSILON
-            ]
-        stats.after_check = len(infos)
-
-        if self.config.nn_filter:
-            infos = nearest_neighbor_filter(
-                reference,
-                infos,
-                signature.element_bounds,
-                theta - EPSILON,
-                self.index,
-                self.phi,
-                self.collection,
-                q=self.config.effective_q,
-            )
-        stats.after_nn = len(infos)
-        return infos
-
-    def _verify(
-        self,
-        reference: SetRecord,
-        candidates: list[CandidateInfo],
-        theta: float,
-        stats: PassStats,
-    ) -> list[SearchResult]:
-        use_reduction = (
-            self.config.reduction
-            and self.phi.alpha == 0.0
-            and self.phi.kind.supports_reduction
-        )
-        results: list[SearchResult] = []
-        for info in candidates:
-            stats.verified += 1
-            candidate = self.collection[info.set_id]
-            if use_reduction:
-                score = reduced_matching_score(reference, candidate, self.phi)
-            else:
-                score = matching_score(reference, candidate, self.phi)
-            value = relatedness_value(
-                self.config.metric, score, len(reference), len(candidate)
-            )
-            if value >= self.config.delta - EPSILON:
-                results.append(SearchResult(info.set_id, score, value))
-        stats.matches = len(results)
-        return results

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.engine import EPSILON, SilkMoth, relatedness_value
+from repro.core.constants import EPSILON
+from repro.core.engine import SilkMoth
+from repro.core.results import relatedness_value
 from repro.core.records import SetRecord
 from repro.filters.nearest_neighbor import _no_share_cap, nn_search
 from repro.matching.assignment import AlignedPair, matching_alignment
@@ -128,7 +130,7 @@ def explain(
         if "check" in survives and nn_estimate >= theta - EPSILON:
             survives.append("nn")
 
-    alignment = matching_alignment(reference, candidate, phi)
+    alignment = matching_alignment(reference, candidate, phi, backend=engine.backend)
     score = sum(pair.weight for pair in alignment)
     value = relatedness_value(
         config.metric, score, len(reference), len(candidate)

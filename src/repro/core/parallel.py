@@ -21,9 +21,10 @@ from __future__ import annotations
 import multiprocessing
 from typing import Sequence
 
-from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.config import SilkMothConfig
 from repro.core.engine import DiscoveryResult, SilkMoth
 from repro.core.records import SetCollection
+from repro.pipeline.driver import search_rows
 
 #: Per-process state installed by the pool initializer.
 _WORKER: dict = {}
@@ -53,21 +54,24 @@ def _init_worker(sets, config, reference_sets) -> None:
 
 
 def _search_chunk(reference_ids: list[int]) -> list[tuple[int, int, float, float]]:
-    """One worker task: search passes for a chunk of reference ids."""
+    """One worker task: pipeline search passes for a chunk of reference ids.
+
+    Pair-dedup semantics come from the shared pipeline driver, so the
+    rows are exactly the serial engine's.
+    """
     engine: SilkMoth = _WORKER["engine"]
     references = _WORKER["references"]
     self_mode: bool = _WORKER["self_mode"]
-    symmetric = engine.config.metric is Relatedness.SIMILARITY
     rows: list[tuple[int, int, float, float]] = []
     for reference_id in reference_ids:
-        reference = references[reference_id]
-        skip = reference_id if self_mode else None
-        for result in engine.search(reference, skip_set=skip):
-            if self_mode and symmetric and result.set_id < reference_id:
-                continue  # reported when the roles were swapped
-            rows.append(
-                (reference_id, result.set_id, result.score, result.relatedness)
+        rows.extend(
+            search_rows(
+                engine,
+                references[reference_id],
+                reference_id,
+                self_mode=self_mode,
             )
+        )
     return rows
 
 

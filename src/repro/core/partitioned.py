@@ -21,9 +21,10 @@ from __future__ import annotations
 import math
 from typing import Iterator, Sequence
 
-from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.config import SilkMothConfig
 from repro.core.engine import DiscoveryResult, SilkMoth
 from repro.core.records import SetCollection
+from repro.pipeline.driver import search_rows
 from repro.tokenize.vocabulary import Vocabulary
 
 
@@ -71,7 +72,6 @@ def partitioned_discover(
 
     self_mode = reference_sets is None
     references_raw = sets if self_mode else reference_sets
-    symmetric = config.metric is Relatedness.SIMILARITY
 
     # One shared vocabulary keeps token ids consistent across shards so
     # reference tokenisation happens once.
@@ -93,25 +93,18 @@ def partitioned_discover(
         )
         engine = SilkMoth(shard, config)
         for reference in reference_collection:
-            # Within the shard holding the reference itself, skip the
-            # self pair by local id.
-            local_self = (
-                reference.set_id - offset
-                if self_mode and offset <= reference.set_id < offset + len(chunk)
-                else None
-            )
-            for result in engine.search(reference, skip_set=local_self):
-                global_id = offset + result.set_id
-                if self_mode and symmetric and global_id < reference.set_id:
-                    continue  # reported when the roles were swapped
-                rows.append(
-                    (
-                        reference.set_id,
-                        global_id,
-                        result.score,
-                        result.relatedness,
-                    )
+            # The shared pipeline driver skips the self pair within the
+            # shard holding the reference (by local id) and applies the
+            # symmetric-pair dedup on global ids.
+            rows.extend(
+                search_rows(
+                    engine,
+                    reference,
+                    reference.set_id,
+                    self_mode=self_mode,
+                    id_offset=offset,
                 )
+            )
         # `engine` and `shard` go out of scope here: only one shard's
         # index is ever alive.
 

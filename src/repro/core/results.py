@@ -1,0 +1,52 @@
+"""Result records and the relatedness metrics (paper Definitions 1-2).
+
+These live below both the engine and the staged pipeline so either can
+produce results without importing the other.  :mod:`repro.core.engine`
+re-exports them, so ``from repro.core.engine import SearchResult``
+keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Relatedness
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One related set found for a reference."""
+
+    set_id: int
+    score: float        # the maximum matching score |R ~cap~ S|
+    relatedness: float  # similar() or contain() value
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """One related pair found in discovery mode."""
+
+    reference_id: int
+    set_id: int
+    score: float
+    relatedness: float
+
+
+def relatedness_value(
+    metric: Relatedness, score: float, ref_size: int, cand_size: int
+) -> float:
+    """similar() or contain() from a matching score (Definitions 1-2).
+
+    A non-positive Jaccard denominator (both sets contribute nothing,
+    e.g. empty after tokenisation) is related only when the matching
+    actually scored: ``score == 0`` means no element pair aligned, so
+    the pair is unrelated, not perfectly similar.
+    """
+    if ref_size == 0:
+        return 0.0
+    if metric is Relatedness.CONTAINMENT:
+        return score / ref_size
+    denominator = ref_size + cand_size - score
+    if denominator <= 0.0:
+        return 1.0 if score > 0.0 else 0.0
+    return score / denominator

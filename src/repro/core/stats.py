@@ -3,7 +3,9 @@
 The evaluation reasons about candidate counts at each pipeline stage
 (signature probe, check filter, NN filter, verification), so the engine
 records them for every search pass and aggregates across a discovery
-run.  Benchmarks print these alongside wall-clock times.
+run.  Since the staged-pipeline refactor each pass also carries
+wall-clock time per stage and the compute backend that ran it.
+Benchmarks print these alongside overall wall-clock times.
 """
 
 from __future__ import annotations
@@ -22,6 +24,11 @@ class PassStats:
     after_nn: int = 0
     verified: int = 0
     matches: int = 0
+    #: Compute backend that executed the pass ("python" / "numpy").
+    backend: str = ""
+    #: Wall-clock seconds per stage, keyed by stage name
+    #: ("signature", "select", "check", "nn", "verify").
+    stage_seconds: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -36,6 +43,7 @@ class RunStats:
     after_nn: int = 0
     verified: int = 0
     matches: int = 0
+    stage_seconds: dict = field(default_factory=dict)
     per_pass: list = field(default_factory=list, repr=False)
 
     def add(self, stats: PassStats) -> None:
@@ -48,4 +56,6 @@ class RunStats:
         self.after_nn += stats.after_nn
         self.verified += stats.verified
         self.matches += stats.matches
+        for name, seconds in stats.stage_seconds.items():
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
         self.per_pass.append(stats)

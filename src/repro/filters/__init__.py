@@ -14,11 +14,16 @@ reach the matching threshold theta:
 """
 
 from repro.filters.check import CandidateInfo, select_and_check
-from repro.filters.nearest_neighbor import nearest_neighbor_filter, nn_search
+from repro.filters.nearest_neighbor import (
+    nearest_neighbor_filter,
+    nn_filter_columns,
+    nn_search,
+)
 
 __all__ = [
     "CandidateInfo",
     "nearest_neighbor_filter",
+    "nn_filter_columns",
     "nn_search",
     "select_and_check",
 ]

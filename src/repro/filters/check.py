@@ -11,12 +11,19 @@ be dropped whenever that residual is below theta.
 The per-candidate witnessed maxima are *exact* nearest-neighbour
 similarities (computation reuse, Section 5.2): any candidate element
 sharing no signature token with ``r_i`` is bounded by ``u_i`` anyway.
+
+The probe gathers all postings for one reference element first and then
+evaluates ``phi_alpha`` as one batch through the compute backend, so the
+numpy backend vectorises the similarity arithmetic; the pure-Python
+backend computes the identical scalars.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends import get_backend
+from repro.backends.base import ComputeBackend
 from repro.core.records import SetCollection, SetRecord
 from repro.index.inverted import InvertedIndex
 from repro.sim.functions import SimilarityFunction
@@ -37,30 +44,14 @@ class CandidateInfo:
 
     def estimate(self, bounds: tuple[float, ...]) -> float:
         """Upper bound on the matching score given the signature bounds."""
-        total = sum(bounds)
+        return sum(bounds) + self.gain(bounds)
+
+    def gain(self, bounds: tuple[float, ...]) -> float:
+        """``estimate(bounds) - sum(bounds)``: the witnessed improvement."""
+        total = 0.0
         for i, score in self.best.items():
             total += score - bounds[i]
         return total
-
-
-def _phi_elements(
-    phi: SimilarityFunction,
-    reference: SetRecord,
-    candidate: SetRecord,
-    i: int,
-    j: int,
-    floor: float,
-) -> float:
-    """phi_alpha between reference element i and candidate element j.
-
-    *floor* lets edit-based comparisons bail out early when the score
-    cannot matter (it is only used as a band for the Levenshtein DP).
-    """
-    r = reference.elements[i]
-    s = candidate.elements[j]
-    if phi.kind.is_token_based:
-        return phi.tokens(r.index_tokens, s.index_tokens)
-    return phi.edit_at_least(r.text, s.text, floor)
 
 
 def select_and_check(
@@ -73,6 +64,7 @@ def select_and_check(
     apply_check: bool = True,
     size_range: tuple[float, float] | None = None,
     skip_set: int | None = None,
+    backend: ComputeBackend | None = None,
 ) -> list[CandidateInfo]:
     """Algorithm 1: probe the index with the signature and check-filter.
 
@@ -87,16 +79,33 @@ def select_and_check(
         When False, candidates are only gathered (used by baselines and
         the NOFILTER configurations of Figure 6); the returned infos
         still carry witnessed similarities for downstream reuse.
+    backend:
+        Compute backend for the batched similarity evaluation; ``None``
+        resolves the process default.
 
     Returns
     -------
     Candidate infos for every set that survived; ordering follows set id.
     """
+    if backend is None:
+        backend = get_backend()
     bounds = signature.element_bounds
+    token_based = phi.kind.is_token_based
     candidates: dict[int, CandidateInfo] = {}
-    # (set_id, element_index) pairs already compared per reference element,
-    # so duplicated postings across tokens are not recomputed.
-    seen: dict[int, set[tuple[int, int]]] = {}
+    # Size-gate verdicts per candidate set, computed once per set rather
+    # than once per posting.
+    size_ok: dict[int, bool] = {}
+
+    def passes_size_gate(set_id: int) -> bool:
+        if size_range is None:
+            return True
+        ok = size_ok.get(set_id)
+        if ok is None:
+            size = len(collection[set_id])
+            ok = size_range[0] <= size <= size_range[1]
+            size_ok[set_id] = ok
+        return ok
+
     # Tombstoned sets keep postings until the index compacts; skip them.
     deleted = collection.deleted_ids
 
@@ -104,7 +113,12 @@ def select_and_check(
         if not tokens:
             continue
         bound_i = bounds[i]
-        seen_i = seen.setdefault(i, set())
+        probe = reference.elements[i]
+        # Gather this element's distinct (set_id, element_index) pairs
+        # across all its signature tokens, so duplicated postings are
+        # not recomputed and phi runs as one batch.
+        seen_i: set[tuple[int, int]] = set()
+        pairs: list[tuple[int, int]] = []
         for token in tokens:
             for set_id, element_index in index.postings(token):
                 if set_id == skip_set or set_id in deleted:
@@ -113,20 +127,61 @@ def select_and_check(
                 if key in seen_i:
                     continue
                 seen_i.add(key)
-                candidate_record = collection[set_id]
-                if size_range is not None:
-                    size = len(candidate_record)
-                    if size < size_range[0] or size > size_range[1]:
-                        continue
-                info = candidates.get(set_id)
-                if info is None:
-                    info = CandidateInfo(set_id)
-                    candidates[set_id] = info
-                score = _phi_elements(
-                    phi, reference, candidate_record, i, element_index, bound_i
+                if not passes_size_gate(set_id):
+                    continue
+                pairs.append(key)
+                if set_id not in candidates:
+                    candidates[set_id] = CandidateInfo(set_id)
+        if not pairs:
+            continue
+        if token_based:
+            scores = backend.token_similarities(
+                probe.index_tokens,
+                [
+                    collection[set_id].elements[j].index_tokens
+                    for set_id, j in pairs
+                ],
+                phi,
+            )
+        else:
+            # *bound_i* lets the banded Levenshtein bail out early when
+            # the score cannot beat the signature bound anyway.
+            scores = [
+                phi.edit_at_least(
+                    probe.text, collection[set_id].elements[j].text, bound_i
                 )
-                if score > bound_i and score > info.best.get(i, 0.0):
+                for set_id, j in pairs
+            ]
+        for (set_id, _), score in zip(pairs, scores):
+            if score > bound_i:
+                info = candidates[set_id]
+                if score > info.best.get(i, 0.0):
                     info.best[i] = score
+
+    # Empty-after-tokenisation reference elements score similarity 1
+    # against any empty candidate element, yet neither side carries a
+    # token the probe above could meet.  Enumerate those candidates from
+    # the index's empty-element postings and witness the (exact) NN
+    # value of 1 so every downstream bound stays sound.
+    empty_ref = [
+        i
+        for i, element in enumerate(reference.elements)
+        if not element.index_tokens
+    ]
+    if empty_ref:
+        witness = phi.threshold(1.0)
+        for set_id, _ in index.empty_postings():
+            if set_id == skip_set or set_id in deleted:
+                continue
+            if not passes_size_gate(set_id):
+                continue
+            info = candidates.get(set_id)
+            if info is None:
+                info = CandidateInfo(set_id)
+                candidates[set_id] = info
+            for i in empty_ref:
+                if witness > bounds[i] and witness > info.best.get(i, 0.0):
+                    info.best[i] = witness
 
     infos = [candidates[set_id] for set_id in sorted(candidates)]
     if not apply_check:

@@ -12,12 +12,21 @@ similarity without sharing any q-gram, so the search result is combined
 with the no-shared-gram cap ``|r| / (|r| + ceil(|r|/q))`` from Section
 7.1; under the evaluation's ``q < alpha/(1-alpha)`` constraint that cap
 is below alpha and vanishes after thresholding.
+
+The core implementation, :func:`nn_filter_columns`, works on the
+pipeline's columnar candidate batches (parallel arrays of set ids and
+witnessed-similarity maps) and routes batched similarity evaluation
+through a compute backend; :func:`nearest_neighbor_filter` is the
+row-per-candidate wrapper around it.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
+from repro.backends import get_backend
+from repro.backends.base import ComputeBackend
 from repro.core.records import ElementRecord, SetCollection, SetRecord
 from repro.filters.check import CandidateInfo
 from repro.index.inverted import InvertedIndex
@@ -42,65 +51,99 @@ def nn_search(
     phi: SimilarityFunction,
     collection: SetCollection,
     floor: float = 0.0,
+    backend: ComputeBackend | None = None,
 ) -> float:
     """Exact NN similarity of *element* within set *set_id* via the index.
 
     Only elements sharing at least one index token are examined
     (Section 5.2); the caller is responsible for combining the result
     with the no-share cap where that matters.
+
+    Token-based kinds gather the sharing elements and evaluate phi as
+    one backend batch; edit kinds stay sequential because each computed
+    score tightens the Levenshtein band for the next one.
     """
     best = floor
-    seen: set[int] = set()
     candidate_record = collection[set_id]
     if phi.kind.is_token_based:
+        if backend is None:
+            backend = get_backend()
+        if not element.index_tokens:
+            # Empty probe: similarity is 1 against an empty candidate
+            # element (invisible to the index) and 0 against the rest.
+            if any(not s.index_tokens for s in candidate_record.elements):
+                top = phi.threshold(1.0)
+                if top > best:
+                    return top
+            return best
+        seen: set[int] = set()
         for token in element.index_tokens:
-            for j in index.elements_in_set(token, set_id):
-                if j in seen:
-                    continue
-                seen.add(j)
-                score = phi.tokens(
-                    element.index_tokens, candidate_record.elements[j].index_tokens
-                )
-                if score > best:
-                    best = score
-    else:
-        for token in element.index_tokens:
-            for j in index.elements_in_set(token, set_id):
-                if j in seen:
-                    continue
-                seen.add(j)
-                score = phi.edit_at_least(
-                    element.text, candidate_record.elements[j].text, best
-                )
-                if score > best:
-                    best = score
+            seen.update(index.elements_in_set(token, set_id))
+        if not seen:
+            return best
+        scores = backend.token_similarities(
+            element.index_tokens,
+            [candidate_record.elements[j].index_tokens for j in sorted(seen)],
+            phi,
+        )
+        top = max(scores)
+        return top if top > best else best
+    seen_edit: set[int] = set()
+    for token in element.index_tokens:
+        for j in index.elements_in_set(token, set_id):
+            if j in seen_edit:
+                continue
+            seen_edit.add(j)
+            score = phi.edit_at_least(
+                element.text, candidate_record.elements[j].text, best
+            )
+            if score > best:
+                best = score
     return best
 
 
-def nearest_neighbor_filter(
+def nn_filter_columns(
     reference: SetRecord,
-    candidates: list[CandidateInfo],
+    set_ids: Sequence[int],
+    best_maps: Sequence[dict[int, float]],
     bounds: tuple[float, ...],
     theta: float,
     index: InvertedIndex,
     phi: SimilarityFunction,
     collection: SetCollection,
     q: int = 1,
-) -> list[CandidateInfo]:
-    """Algorithm 2: prune candidates by the NN upper bound.
+    backend: ComputeBackend | None = None,
+) -> tuple[list[int], list[float]]:
+    """Algorithm 2 over a columnar candidate batch.
 
-    *bounds* are the signature's per-element bounds; *q* is the gram
-    length (ignored for Jaccard).
+    Parameters
+    ----------
+    set_ids / best_maps:
+        Parallel arrays: candidate set ids and their witnessed NN
+        similarities (mutated in place as refinement fills them in --
+        the computation-reuse contract of Section 5.2).
+    bounds:
+        The signature's per-element bounds; *q* is the gram length
+        (ignored for token kinds).
+
+    Returns
+    -------
+    ``(keep, estimates)``: indices into the batch that survive, and the
+    refined score upper bound for each survivor (parallel to *keep*).
     """
+    if backend is None:
+        backend = get_backend()
     caps = [_no_share_cap(element, phi, q) for element in reference.elements]
-    survivors: list[CandidateInfo] = []
-    for info in candidates:
+    keep: list[int] = []
+    estimates: list[float] = []
+    for k, set_id in enumerate(set_ids):
+        best = best_maps[k]
         # Start from the check filter's estimate: witnessed exact NN
         # values where they beat the bound, signature bounds elsewhere.
         total = 0.0
         pending: list[int] = []
         for i, bound_i in enumerate(bounds):
-            witnessed = info.best.get(i)
+            witnessed = best.get(i)
             if witnessed is not None:
                 total += witnessed
             else:
@@ -117,14 +160,51 @@ def nearest_neighbor_filter(
         pruned = False
         for i in pending:
             nn = nn_search(
-                reference.elements[i], info.set_id, index, phi, collection
+                reference.elements[i],
+                set_id,
+                index,
+                phi,
+                collection,
+                backend=backend,
             )
             nn = max(nn, caps[i])
             total += nn - max(bounds[i], caps[i])
-            info.best[i] = nn
+            best[i] = nn
             if total < theta:
                 pruned = True
                 break
         if not pruned:
-            survivors.append(info)
-    return survivors
+            keep.append(k)
+            estimates.append(total)
+    return keep, estimates
+
+
+def nearest_neighbor_filter(
+    reference: SetRecord,
+    candidates: list[CandidateInfo],
+    bounds: tuple[float, ...],
+    theta: float,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    collection: SetCollection,
+    q: int = 1,
+    backend: ComputeBackend | None = None,
+) -> list[CandidateInfo]:
+    """Algorithm 2: prune candidates by the NN upper bound.
+
+    Row-per-candidate wrapper around :func:`nn_filter_columns`; the
+    surviving infos carry the refined ``best`` values.
+    """
+    keep, _ = nn_filter_columns(
+        reference,
+        [info.set_id for info in candidates],
+        [info.best for info in candidates],
+        bounds,
+        theta,
+        index,
+        phi,
+        collection,
+        q=q,
+        backend=backend,
+    )
+    return [candidates[k] for k in keep]

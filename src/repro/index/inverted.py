@@ -30,8 +30,14 @@ class Posting(NamedTuple):
 
 
 def record_posting_count(record: SetRecord) -> int:
-    """How many postings *record* contributes to the index."""
-    return sum(len(element.index_tokens) for element in record.elements)
+    """How many postings *record* contributes to the index.
+
+    An empty-after-tokenisation element is stored as one posting on the
+    empty-element list, so it counts as 1 -- keeping the live/dead
+    accounting (and therefore compaction triggering) consistent with
+    what is actually stored.
+    """
+    return sum(len(element.index_tokens) or 1 for element in record.elements)
 
 
 class InvertedIndex:
@@ -40,6 +46,11 @@ class InvertedIndex:
     def __init__(self, collection: SetCollection):
         self.collection = collection
         self._lists: dict[int, list[Posting]] = {}
+        # Elements with no index tokens at all (empty after
+        # tokenisation).  They are invisible to every token probe yet
+        # score similarity 1 against an empty query element, so
+        # candidate selection must be able to enumerate them.
+        self._empty: list[Posting] = []
         self._max_set_id = -1
         self._live_postings = 0
         self._dead_postings = 0
@@ -66,6 +77,10 @@ class InvertedIndex:
         in_order = record.set_id > self._max_set_id
         touched: set[int] = set()
         for element_index, element in enumerate(record.elements):
+            if not element.index_tokens:
+                self._empty.append(Posting(record.set_id, element_index))
+                self._live_postings += 1
+                continue
             for token in element.index_tokens:
                 lists.setdefault(token, []).append(
                     Posting(record.set_id, element_index)
@@ -75,6 +90,8 @@ class InvertedIndex:
                     touched.add(token)
         for token in touched:
             lists[token].sort()
+        if not in_order:
+            self._empty.sort()
         self._max_set_id = max(self._max_set_id, record.set_id)
 
     def note_removed(self, record: SetRecord) -> None:
@@ -120,6 +137,10 @@ class InvertedIndex:
                     empty_tokens.append(token)
         for token in empty_tokens:
             del self._lists[token]
+        if self._empty:
+            kept_empty = [p for p in self._empty if p.set_id not in deleted]
+            removed += len(self._empty) - len(kept_empty)
+            self._empty = kept_empty
         self._dead_postings = 0
         self._compactions += 1
         return removed
@@ -156,6 +177,14 @@ class InvertedIndex:
         lo = bisect_left(postings, (set_id,))
         hi = bisect_right(postings, (set_id, len(self.collection[set_id].elements)))
         return tuple(postings[i].element_index for i in range(lo, hi))
+
+    def empty_postings(self) -> list[Posting]:
+        """Postings of elements that tokenised to nothing.
+
+        Like :meth:`postings`, may include tombstoned sets until
+        :meth:`compact` runs.
+        """
+        return self._empty
 
     def total_postings(self) -> int:
         """Total number of postings stored (index size diagnostic)."""

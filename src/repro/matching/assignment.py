@@ -5,16 +5,23 @@ want to know which element aligned with which (e.g. which Address row
 explains each Location row in Table 1).  This module re-runs the same
 Jonker-Volgenant machinery as :mod:`repro.matching.hungarian` but
 returns the argmax assignment, with zero-weight pairs dropped from the
-output (they contribute nothing and are an artifact of padding).
+output (they contribute nothing and are an artifact of padding).  Like
+the score solver it has a numpy-vectorised path and a pure-Python path,
+picked by numpy availability.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # numpy is optional; the pure-Python assignment covers its absence.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    np = None
 
+from repro.backends import get_backend
 from repro.core.records import SetRecord
+from repro.matching.hungarian import max_weight_assignment_python
 from repro.matching.score import build_weight_matrix
 from repro.sim.functions import SimilarityFunction
 
@@ -32,13 +39,15 @@ class AlignedPair:
     weight: float
 
 
-def max_weight_assignment(weights: np.ndarray) -> tuple[float, list[tuple[int, int]]]:
+def max_weight_assignment(weights) -> tuple[float, list[tuple[int, int]]]:
     """Maximum-weight assignment score and its (row, col) pairs.
 
     Zero-weight pairs are omitted: they never change the score and a
     maximum matching containing them always has an equal-score sibling
     without them.
     """
+    if np is None:  # pragma: no cover - exercised on numpy-less installs
+        return max_weight_assignment_python(weights)
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 2:
         raise ValueError("weight matrix must be 2-dimensional")
@@ -111,21 +120,26 @@ def matching_alignment(
     reference: SetRecord,
     candidate: SetRecord,
     phi: SimilarityFunction,
+    backend=None,
 ) -> list[AlignedPair]:
     """The maximum matching between two sets as explicit element pairs.
 
     The sum of the returned weights equals
     :func:`repro.matching.score.matching_score` on the same inputs.
+    *backend* is the compute backend for the weight matrix; ``None``
+    resolves the process default.
     """
     if len(reference) == 0 or len(candidate) == 0:
         return []
-    weights = build_weight_matrix(reference, candidate, phi)
+    if backend is None:
+        backend = get_backend()
+    weights = build_weight_matrix(reference, candidate, phi, backend=backend)
     _, pairs = max_weight_assignment(weights)
     return [
         AlignedPair(
             reference_index=i,
             candidate_index=j,
-            weight=float(weights[i, j]),
+            weight=backend.matrix_entry(weights, i, j),
         )
         for i, j in pairs
     ]

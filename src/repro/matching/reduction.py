@@ -15,8 +15,10 @@ is no longer a metric (Section 6.5); callers must fall back to
 from __future__ import annotations
 
 from collections import Counter
+
+from repro.backends import get_backend
+from repro.backends.base import ComputeBackend
 from repro.core.records import ElementRecord, SetRecord
-from repro.matching.hungarian import hungarian_max_weight
 from repro.matching.score import build_weight_matrix
 from repro.sim.functions import SimilarityFunction, SimilarityKind
 
@@ -36,6 +38,7 @@ def reduced_matching_score(
     reference: SetRecord,
     candidate: SetRecord,
     phi: SimilarityFunction,
+    backend: ComputeBackend | None = None,
 ) -> float:
     """Maximum matching score computed with the identical-element reduction.
 
@@ -82,5 +85,9 @@ def reduced_matching_score(
     residual_candidate = SetRecord(
         set_id=candidate.set_id, elements=tuple(leftover_candidate)
     )
-    weights = build_weight_matrix(residual_reference, residual_candidate, phi)
-    return float(matched) + hungarian_max_weight(weights)
+    if backend is None:
+        backend = get_backend()
+    weights = build_weight_matrix(
+        residual_reference, residual_candidate, phi, backend=backend
+    )
+    return float(matched) + backend.assignment_score(weights)

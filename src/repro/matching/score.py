@@ -3,91 +3,49 @@
 The weight matrix between two sets is almost always sparse: under
 Jaccard, two elements with no common token have similarity exactly 0;
 under an edit kind with ``alpha > 0``, any pair whose banded Levenshtein
-cannot clear ``alpha`` contributes 0.  :func:`build_weight_matrix`
-exploits both facts so verification only pays for the pairs that can
-actually appear in the maximum matching.
+cannot clear ``alpha`` contributes 0.  The sparsity logic lives in
+:func:`repro.backends.base.fill_weight_matrix`; this module routes it
+through a compute backend so verification only pays for the pairs that
+can actually appear in the maximum matching -- and runs vectorised when
+the numpy backend is active.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
-import numpy as np
-
+from repro.backends import get_backend
+from repro.backends.base import ComputeBackend
 from repro.core.records import SetRecord
-from repro.matching.hungarian import hungarian_max_weight
 from repro.sim.functions import SimilarityFunction
-
-
-def _token_weights(
-    reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
-) -> np.ndarray:
-    """Pairwise token-set weights, computed only for token-sharing pairs.
-
-    Every token-based kind scores 0 on a pair of elements without a
-    common token, so those entries are never touched; the index token
-    sets are already interned ids.
-    """
-    n, m = len(reference), len(candidate)
-    weights = np.zeros((n, m))
-    by_token: defaultdict[int, list[int]] = defaultdict(list)
-    for j, s in enumerate(candidate.elements):
-        for token in s.index_tokens:
-            by_token[token].append(j)
-    for i, r in enumerate(reference.elements):
-        r_tokens = r.index_tokens
-        touched: set[int] = set()
-        for token in r_tokens:
-            touched.update(by_token.get(token, ()))
-        for j in touched:
-            weights[i, j] = phi.tokens(
-                r_tokens, candidate.elements[j].index_tokens
-            )
-    return weights
-
-
-def _edit_weights(
-    reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
-) -> np.ndarray:
-    """Pairwise edit-similarity weights.
-
-    With ``alpha > 0`` the banded Levenshtein bails out as soon as a
-    pair provably scores below ``alpha`` (its thresholded weight is 0
-    anyway); with ``alpha = 0`` the full DP is required.
-    """
-    n, m = len(reference), len(candidate)
-    weights = np.zeros((n, m))
-    banded = phi.alpha > 0.0
-    for i, r in enumerate(reference.elements):
-        for j, s in enumerate(candidate.elements):
-            if banded:
-                weights[i, j] = phi.edit_at_least(r.text, s.text, 0.0)
-            else:
-                weights[i, j] = phi(r.text, s.text)
-    return weights
 
 
 def build_weight_matrix(
     reference: SetRecord,
     candidate: SetRecord,
     phi: SimilarityFunction,
-) -> np.ndarray:
+    backend: ComputeBackend | None = None,
+):
     """Pairwise ``phi_alpha`` weights between the elements of two sets.
 
-    For Jaccard the precomputed index token sets are used; for edit
-    kinds the element strings are compared directly.
+    The matrix type is backend-specific (ndarray under numpy, lists of
+    lists under pure Python); read entries through
+    ``backend.matrix_entry`` when backend-neutral access is needed.
     """
-    if phi.kind.is_token_based:
-        return _token_weights(reference, candidate, phi)
-    return _edit_weights(reference, candidate, phi)
+    if backend is None:
+        backend = get_backend()
+    return backend.weight_matrix(reference, candidate, phi)
 
 
 def matching_score(
     reference: SetRecord,
     candidate: SetRecord,
     phi: SimilarityFunction,
+    backend: ComputeBackend | None = None,
 ) -> float:
     """The maximum matching score ``|R ~cap~ S|`` without any reduction."""
     if len(reference) == 0 or len(candidate) == 0:
         return 0.0
-    return hungarian_max_weight(build_weight_matrix(reference, candidate, phi))
+    if backend is None:
+        backend = get_backend()
+    return backend.assignment_score(
+        backend.weight_matrix(reference, candidate, phi)
+    )

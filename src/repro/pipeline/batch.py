@@ -1,0 +1,86 @@
+"""Columnar candidate batches flowing between pipeline stages.
+
+Stages exchange a :class:`CandidateBatch` -- parallel arrays of set
+ids, cardinalities, witnessed-similarity maps and score upper bounds --
+instead of per-candidate objects.  The numeric columns are plain lists
+at rest; compute backends lift them into their preferred representation
+(numpy arrays, etc.) per kernel call, so the batch type itself stays
+backend-neutral and picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.records import SetCollection
+from repro.filters.check import CandidateInfo
+
+
+@dataclass
+class CandidateBatch:
+    """One stage's surviving candidates, as parallel columns.
+
+    Attributes
+    ----------
+    set_ids:
+        Candidate set ids, ascending.
+    sizes:
+        ``len(collection[set_id])`` per candidate (size-gate input).
+    gains:
+        Witnessed check-filter improvement over the signature residual
+        per candidate (``sum_i best_i - u_i`` over witnessed elements).
+    estimates:
+        Current upper bound on the matching score per candidate
+        (``inf`` until a filter stage tightens it).  ``sizes`` and
+        ``estimates`` are not consumed by the stock verify stage; they
+        are part of the inter-stage contract so alternative final
+        stages (top-k ordering, explain-style tracing, cost models)
+        can consume them without re-deriving per-candidate state.
+    best:
+        Witnessed exact NN similarities per candidate: sparse maps from
+        reference-element index to similarity (the computation-reuse
+        state shared by the check and NN filters).
+    """
+
+    set_ids: list[int] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    estimates: list[float] = field(default_factory=list)
+    best: list[dict[int, float]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.set_ids)
+
+    def take(self, indices: Sequence[int]) -> "CandidateBatch":
+        """A new batch holding only the rows at *indices* (in order)."""
+        return CandidateBatch(
+            set_ids=[self.set_ids[k] for k in indices],
+            sizes=[self.sizes[k] for k in indices],
+            gains=[self.gains[k] for k in indices],
+            estimates=[self.estimates[k] for k in indices],
+            best=[self.best[k] for k in indices],
+        )
+
+    @classmethod
+    def from_infos(
+        cls,
+        infos: Sequence[CandidateInfo],
+        collection: SetCollection,
+        bounds: tuple[float, ...],
+    ) -> "CandidateBatch":
+        """Columnarise the check probe's per-candidate infos."""
+        return cls(
+            set_ids=[info.set_id for info in infos],
+            sizes=[len(collection[info.set_id]) for info in infos],
+            gains=[info.gain(bounds) for info in infos],
+            estimates=[float("inf")] * len(infos),
+            best=[info.best for info in infos],
+        )
+
+    def to_infos(self) -> list[CandidateInfo]:
+        """Per-candidate view (interop with the row-oriented filters)."""
+        return [
+            CandidateInfo(set_id=set_id, best=best)
+            for set_id, best in zip(self.set_ids, self.best)
+        ]

@@ -1,0 +1,62 @@
+"""Shared discovery-driver semantics for every execution strategy.
+
+RELATED SET DISCOVERY runs one search pass per reference and applies
+two rules on top (Section 3): in self-discovery the reference must not
+match itself, and under the symmetric SET-SIMILARITY metric each
+unordered pair is reported exactly once.  Those rules used to be
+re-implemented by each driver (serial, process-pool, partitioned);
+they now live here, so the serial engine, :mod:`repro.core.parallel`,
+:mod:`repro.core.partitioned` and the service's batch fan-out cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import Relatedness
+from repro.core.records import SetRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import SilkMoth
+
+#: One discovery row: (reference_id, set_id, score, relatedness).
+Row = tuple[int, int, float, float]
+
+
+def search_rows(
+    engine: "SilkMoth",
+    reference: SetRecord,
+    reference_id: int,
+    *,
+    self_mode: bool,
+    id_offset: int = 0,
+) -> list[Row]:
+    """One reference's discovery rows against *engine*'s collection.
+
+    Parameters
+    ----------
+    reference_id:
+        The reference's id in the *global* reference numbering.
+    self_mode:
+        Self-discovery (R = S): skip the self pair and, under the
+        symmetric SET-SIMILARITY metric, report each unordered pair
+        once (when the reference id is the smaller one).
+    id_offset:
+        Global id of the engine collection's first set -- non-zero when
+        the engine serves one shard of a partitioned collection.
+        Returned set ids are translated back to global ids.
+    """
+    skip = None
+    if self_mode:
+        local = reference_id - id_offset
+        if 0 <= local < len(engine.collection):
+            skip = local
+    symmetric = engine.config.metric is Relatedness.SIMILARITY
+    rows: list[Row] = []
+    for result in engine.search(reference, skip_set=skip):
+        set_id = result.set_id + id_offset
+        if self_mode and symmetric and set_id < reference_id:
+            continue  # reported when the roles were swapped
+        rows.append((reference_id, set_id, result.score, result.relatedness))
+    return rows

@@ -1,0 +1,123 @@
+"""Query plans: one pass of the staged pipeline, built once, run once.
+
+A :class:`QueryPlan` binds everything a search pass needs -- reference,
+thresholds, collection, index, signature scheme, compute backend, and
+the stage sequence -- so every driver (serial engine, process-pool
+discovery, partitioned discovery, the online service) executes the
+*same* code path.  Exactness arguments, funnel counters and future
+optimisations therefore live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.backends import get_backend
+from repro.backends.base import ComputeBackend
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.constants import EPSILON
+from repro.core.records import SetCollection, SetRecord
+from repro.core.results import SearchResult
+from repro.core.stats import PassStats
+from repro.index.inverted import InvertedIndex
+from repro.pipeline.stages import (
+    CandidateSelectStage,
+    CheckFilterStage,
+    NNFilterStage,
+    PipelineState,
+    SignatureStage,
+    Stage,
+    VerifyStage,
+)
+from repro.sim.functions import SimilarityFunction
+from repro.signatures.base import SignatureScheme
+
+
+def size_range(config: SilkMothConfig, reference_size: int) -> tuple[float, float]:
+    """Cardinality bounds a candidate must satisfy (footnote 6).
+
+    SET-SIMILARITY: ``delta * |R| <= |S| <= |R| / delta``.
+    SET-CONTAINMENT: ``|S| >= delta * |R|`` (score is at most |S|).
+    """
+    if not config.size_filter:
+        return (-math.inf, math.inf)
+    delta = config.delta
+    if config.metric is Relatedness.SIMILARITY:
+        return (
+            delta * reference_size - EPSILON,
+            reference_size / delta + EPSILON,
+        )
+    return (delta * reference_size - EPSILON, math.inf)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One (reference, config) search pass, ready to execute.
+
+    Instances are cheap (no signature is generated until the plan
+    runs), immutable, and reusable: executing twice runs two identical
+    passes.
+    """
+
+    reference: SetRecord
+    config: SilkMothConfig
+    collection: SetCollection
+    index: InvertedIndex
+    scheme: SignatureScheme
+    phi: SimilarityFunction
+    backend: ComputeBackend
+    theta: float
+    size_range: tuple[float, float]
+    skip_set: int | None
+    stages: tuple[Stage, ...]
+
+    @classmethod
+    def build(
+        cls,
+        reference: SetRecord,
+        config: SilkMothConfig,
+        collection: SetCollection,
+        index: InvertedIndex,
+        scheme: SignatureScheme,
+        backend: ComputeBackend | None = None,
+        skip_set: int | None = None,
+    ) -> "QueryPlan":
+        """Assemble the stage sequence for one reference under *config*."""
+        if backend is None:
+            backend = get_backend(config.backend)
+        return cls(
+            reference=reference,
+            config=config,
+            collection=collection,
+            index=index,
+            scheme=scheme,
+            phi=config.phi,
+            backend=backend,
+            theta=config.delta * len(reference),
+            size_range=size_range(config, len(reference)),
+            skip_set=skip_set,
+            stages=(
+                SignatureStage(),
+                CandidateSelectStage(),
+                CheckFilterStage(enabled=config.check_filter),
+                NNFilterStage(enabled=config.nn_filter),
+                VerifyStage(),
+            ),
+        )
+
+    def execute(self) -> tuple[list[SearchResult], PassStats]:
+        """Run the pass; returns results and its funnel/timing stats."""
+        stats = PassStats(backend=self.backend.name)
+        if len(self.reference) == 0:
+            return [], stats
+        state = PipelineState()
+        timings = stats.stage_seconds
+        for stage in self.stages:
+            started = time.perf_counter()
+            stage.run(self, state, stats)
+            timings[stage.name] = (
+                timings.get(stage.name, 0.0) + time.perf_counter() - started
+            )
+        return state.results, stats

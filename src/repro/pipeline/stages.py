@@ -1,0 +1,211 @@
+"""The five pipeline stages (paper Figure 1, Sections 4-5).
+
+Each stage consumes the shared :class:`PipelineState` -- most
+importantly its columnar :class:`~repro.pipeline.batch.CandidateBatch`
+-- refines it, and records its funnel counter on the pass's
+:class:`~repro.core.stats.PassStats`.  Disabled filters still run as
+no-ops so the counters keep their invariant
+``initial >= after_check >= after_nn == verified`` for every
+configuration.
+
+Stage order is fixed (signature -> select -> check -> nn -> verify);
+what varies per :class:`~repro.pipeline.plan.QueryPlan` is which
+filters are enabled and which compute backend executes the kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.constants import EPSILON
+from repro.core.results import SearchResult, relatedness_value
+from repro.core.stats import PassStats
+from repro.filters.check import select_and_check
+from repro.filters.nearest_neighbor import nn_filter_columns
+from repro.matching.reduction import reduced_matching_score
+from repro.matching.score import matching_score
+from repro.pipeline.batch import CandidateBatch
+from repro.signatures.base import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.plan import QueryPlan
+
+
+@dataclass
+class PipelineState:
+    """Mutable state threaded through one pass's stages."""
+
+    signature: Signature | None = None
+    full_scan: bool = False
+    batch: CandidateBatch = field(default_factory=CandidateBatch)
+    results: list[SearchResult] = field(default_factory=list)
+
+
+class Stage(abc.ABC):
+    """One step of the staged query pipeline."""
+
+    #: Stage name -- the key under ``PassStats.stage_seconds``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Advance *state* by one stage, recording counters on *stats*."""
+
+
+class SignatureStage(Stage):
+    """Generate the reference's signature (Sections 4, 6, 7).
+
+    A ``None`` signature means the scheme admits no valid signature for
+    these parameters (possible for edit similarity when q is too large,
+    Section 7.3); the select stage then falls back to a full scan.
+    """
+
+    name = "signature"
+
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        state.signature = plan.scheme.generate(
+            plan.reference, plan.theta - EPSILON, plan.phi, plan.index
+        )
+        if state.signature is not None:
+            stats.signature_tokens = len(state.signature.tokens)
+
+
+class CandidateSelectStage(Stage):
+    """Probe the index with the signature and build the candidate batch.
+
+    Without a signature this degrades to scanning every live set,
+    size-gated through the backend's vectorised mask.
+    """
+
+    name = "select"
+
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        lo, hi = plan.size_range
+        if state.signature is None:
+            state.full_scan = True
+            stats.full_scan = True
+            records = [
+                record
+                for record in plan.collection.iter_live()
+                if record.set_id != plan.skip_set
+            ]
+            keep = plan.backend.size_filter_indices(
+                [len(record) for record in records], lo, hi
+            )
+            state.batch = CandidateBatch(
+                set_ids=[records[k].set_id for k in keep],
+                sizes=[len(records[k]) for k in keep],
+                gains=[0.0] * len(keep),
+                estimates=[float("inf")] * len(keep),
+                best=[{} for _ in keep],
+            )
+            stats.initial_candidates = len(state.batch)
+            return
+        infos = select_and_check(
+            plan.reference,
+            state.signature,
+            plan.index,
+            plan.phi,
+            plan.theta - EPSILON,
+            plan.collection,
+            apply_check=False,
+            size_range=plan.size_range,
+            skip_set=plan.skip_set,
+            backend=plan.backend,
+        )
+        state.batch = CandidateBatch.from_infos(
+            infos, plan.collection, state.signature.element_bounds
+        )
+        stats.initial_candidates = len(state.batch)
+
+
+class CheckFilterStage(Stage):
+    """The check filter (Section 5.1): columnar bound aggregation.
+
+    Each candidate's score upper bound is the signature residual plus
+    its witnessed gain; both the aggregation and the theta comparison
+    run as one backend kernel over the batch columns.
+    """
+
+    name = "check"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        if self.enabled and not state.full_scan and len(state.batch):
+            residual = sum(state.signature.element_bounds)
+            estimates = plan.backend.add_scalar(residual, state.batch.gains)
+            keep = plan.backend.threshold_indices(
+                estimates, plan.theta - EPSILON
+            )
+            state.batch = state.batch.take(keep)
+            state.batch.estimates = [estimates[k] for k in keep]
+        stats.after_check = len(state.batch)
+
+
+class NNFilterStage(Stage):
+    """The nearest-neighbour filter (Section 5.2, Algorithm 2)."""
+
+    name = "nn"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        if self.enabled and not state.full_scan and len(state.batch):
+            keep, estimates = nn_filter_columns(
+                plan.reference,
+                state.batch.set_ids,
+                state.batch.best,
+                state.signature.element_bounds,
+                plan.theta - EPSILON,
+                plan.index,
+                plan.phi,
+                plan.collection,
+                q=plan.config.effective_q,
+                backend=plan.backend,
+            )
+            state.batch = state.batch.take(keep)
+            state.batch.estimates = estimates
+        stats.after_nn = len(state.batch)
+
+
+class VerifyStage(Stage):
+    """Exact verification: maximum matching score per survivor.
+
+    Uses reduction-based verification (Section 5.3) where it is sound;
+    the Hungarian solve runs on the plan's compute backend either way.
+    """
+
+    name = "verify"
+
+    def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        config = plan.config
+        use_reduction = (
+            config.reduction
+            and plan.phi.alpha == 0.0
+            and plan.phi.kind.supports_reduction
+        )
+        ref_size = len(plan.reference)
+        results: list[SearchResult] = []
+        for set_id in state.batch.set_ids:
+            stats.verified += 1
+            candidate = plan.collection[set_id]
+            if use_reduction:
+                score = reduced_matching_score(
+                    plan.reference, candidate, plan.phi, backend=plan.backend
+                )
+            else:
+                score = matching_score(
+                    plan.reference, candidate, plan.phi, backend=plan.backend
+                )
+            value = relatedness_value(
+                config.metric, score, ref_size, len(candidate)
+            )
+            if value >= config.delta - EPSILON:
+                results.append(SearchResult(set_id, score, value))
+        stats.matches = len(results)
+        state.results = results

@@ -4,8 +4,11 @@
 duplicates within the batch collapse onto one computation, previously
 seen references come straight from the cache, and the remaining cold
 references fan out through :func:`repro.core.parallel.parallel_discover`
-(or run serially for small batches).  This module holds the pure
-planning/remapping pieces so the service itself stays readable.
+(or run serially for small batches).  Either way every cold reference
+executes one :class:`repro.pipeline.QueryPlan` -- the same staged
+pipeline the serial engine runs -- so batch answers are exactly the
+serial engine's.  This module holds the pure planning/remapping pieces
+so the service itself stays readable.
 """
 
 from __future__ import annotations

@@ -42,21 +42,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.constants import EPSILON
 from repro.core.records import ElementRecord, SetRecord
 from repro.sim.functions import SimilarityFunction, SimilarityKind
 
 #: Sentinel for "no sim-thresh budget applies" (alpha == 0).
 NO_BUDGET = 1 << 60
 
-#: Guard against float noise pushing a mathematically-integer value just
-#: below the integer before flooring (soundness requires rounding UP in
-#: that case: the budget must strictly exceed the real threshold).
-_FLOOR_EPS = 1e-9
-
 
 def robust_floor(value: float) -> int:
-    """floor(value), treating values within 1e-9 of an integer as exact."""
-    return math.floor(value + _FLOOR_EPS)
+    """floor(value), treating values within EPSILON of an integer as exact.
+
+    Guards against float noise pushing a mathematically-integer value
+    just below the integer before flooring (soundness requires rounding
+    UP in that case: the budget must strictly exceed the real threshold).
+    """
+    return math.floor(value + EPSILON)
 
 
 def _sim_thresh_budget(kind: SimilarityKind, length: int, alpha: float) -> int:

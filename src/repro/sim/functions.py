@@ -25,6 +25,7 @@ import math
 from collections.abc import Collection
 from dataclasses import dataclass
 
+from repro.core.constants import EPSILON
 from repro.sim.levenshtein import levenshtein, levenshtein_within
 
 
@@ -216,14 +217,14 @@ class SimilarityFunction:
         if x == y:
             return 1.0
         len_x, len_y = len(x), len(y)
-        # The 1e-9 guard keeps float noise from truncating a
+        # The EPSILON guard keeps float noise from truncating a
         # mathematically-integer limit one too low (which would reject
         # boundary strings and break filter soundness).
         if self.kind is SimilarityKind.EDS:
             # eds >= cutoff  <=>  LD <= (1 - cutoff) * (|x| + |y|) / (1 + cutoff)
-            max_ld = int((1.0 - cutoff) * (len_x + len_y) / (1.0 + cutoff) + 1e-9)
+            max_ld = int((1.0 - cutoff) * (len_x + len_y) / (1.0 + cutoff) + EPSILON)
         elif self.kind is SimilarityKind.NEDS:
-            max_ld = int((1.0 - cutoff) * max(len_x, len_y) + 1e-9)
+            max_ld = int((1.0 - cutoff) * max(len_x, len_y) + EPSILON)
         else:
             raise ValueError("edit_at_least requires an edit-based kind")
         distance = levenshtein_within(x, y, max_ld)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.constants import EPSILON
 from repro.sim.functions import SimilarityKind
 
 #: Padding character appended to elements before q-gram extraction.
@@ -67,7 +68,7 @@ def max_q_for_delta(delta: float) -> int:
     return max(1, min(q, 64))
 
 
-def _strictly_below(limit: float, tolerance: float = 1e-9) -> int:
+def _strictly_below(limit: float, tolerance: float = EPSILON) -> int:
     """Largest integer strictly below *limit*, robust to float noise."""
     q = int(limit + tolerance)
     if abs(q - limit) <= tolerance:  # limit is (numerically) an integer

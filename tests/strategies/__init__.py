@@ -1,0 +1,115 @@
+"""Hypothesis strategies shared by the property-based suites.
+
+Strategies produce small-but-adversarial workloads: token sets drawn
+from a deliberately tiny vocabulary (to force collisions, duplicates
+and empty elements), and engine configurations sweeping both
+relatedness metrics, the token- and edit-based similarity kinds, all
+practical signature schemes, and the filter toggles.  Every generated
+configuration is valid by construction, so failures always point at
+the code under test.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.sim.functions import SimilarityKind
+
+#: A tiny vocabulary, so generated sets actually overlap.
+WORDS = ("ash", "bay", "elm", "fir", "ivy", "oak", "sky", "yew")
+
+#: The paper's practical signature schemes (Sections 4 and 6).  The
+#: ``exhaustive`` and ``random`` registry entries are test oracles, not
+#: schemes anyone deploys, and are exponential/randomised respectively.
+SCHEMES = (
+    "weighted",
+    "unweighted",
+    "comb_unweighted",
+    "sim_thresh",
+    "skyline",
+    "dichotomy",
+)
+
+TOKEN_KINDS = (
+    SimilarityKind.JACCARD,
+    SimilarityKind.DICE,
+    SimilarityKind.COSINE,
+    SimilarityKind.OVERLAP,
+)
+
+EDIT_KINDS = (SimilarityKind.EDS, SimilarityKind.NEDS)
+
+
+def elements(max_words: int = 3) -> st.SearchStrategy[str]:
+    """One element: a short bag of vocabulary words (possibly empty)."""
+    return st.lists(st.sampled_from(WORDS), min_size=0, max_size=max_words).map(
+        " ".join
+    )
+
+
+def token_sets(
+    min_elements: int = 0, max_elements: int = 4
+) -> st.SearchStrategy[list[str]]:
+    """One set: a list of elements (duplicates and empties allowed)."""
+    return st.lists(elements(), min_size=min_elements, max_size=max_elements)
+
+
+def collections(
+    min_sets: int = 1, max_sets: int = 6
+) -> st.SearchStrategy[list[list[str]]]:
+    """A searched collection S as raw string sets."""
+    return st.lists(token_sets(), min_size=min_sets, max_size=max_sets)
+
+
+def token_configs(**overrides) -> st.SearchStrategy[SilkMothConfig]:
+    """Configurations across both metrics, all token kinds and schemes."""
+    return st.builds(
+        SilkMothConfig,
+        metric=st.sampled_from(tuple(Relatedness)),
+        similarity=st.sampled_from(TOKEN_KINDS),
+        delta=st.sampled_from((0.25, 0.5, 0.7, 0.9, 1.0)),
+        alpha=st.sampled_from((0.0, 0.35)),
+        scheme=st.sampled_from(SCHEMES),
+        check_filter=st.booleans(),
+        nn_filter=st.booleans(),
+        **{key: st.just(value) for key, value in overrides.items()},
+    )
+
+
+def edit_configs(**overrides) -> st.SearchStrategy[SilkMothConfig]:
+    """Configurations for the edit-based kinds (alpha > 0).
+
+    ``q=None`` applies the evaluation's ``q < alpha / (1 - alpha)``
+    rule (Section 8.1).  Out-of-constraint q values are excluded: the
+    signature schemes are only proven valid under the constraint (a
+    known, pre-existing limitation recorded in ROADMAP.md).
+    """
+    return st.builds(
+        SilkMothConfig,
+        metric=st.sampled_from(tuple(Relatedness)),
+        similarity=st.sampled_from(EDIT_KINDS),
+        delta=st.sampled_from((0.4, 0.7)),
+        alpha=st.sampled_from((0.6, 0.8)),
+        q=st.just(None),
+        scheme=st.sampled_from(SCHEMES),
+        check_filter=st.booleans(),
+        nn_filter=st.booleans(),
+        **{key: st.just(value) for key, value in overrides.items()},
+    )
+
+
+def string_sets(
+    min_elements: int = 0, max_elements: int = 3
+) -> st.SearchStrategy[list[str]]:
+    """Sets of short raw strings for the edit-based kinds."""
+    alphabet = st.sampled_from("abc")
+    word = st.text(alphabet=alphabet, min_size=0, max_size=5)
+    return st.lists(word, min_size=min_elements, max_size=max_elements)
+
+
+def string_collections(
+    min_sets: int = 1, max_sets: int = 5
+) -> st.SearchStrategy[list[list[str]]]:
+    """A searched collection of raw-string sets (edit kinds)."""
+    return st.lists(string_sets(), min_size=min_sets, max_size=max_sets)

@@ -37,6 +37,25 @@ class TestRelatednessValue:
     def test_perfect_similarity(self):
         assert relatedness_value(Relatedness.SIMILARITY, 3.0, 3, 3) == pytest.approx(1.0)
 
+    def test_degenerate_denominator_requires_positive_score(self):
+        # Regression: a non-positive Jaccard denominator used to report
+        # relatedness 1.0 even with score == 0 (e.g. degenerate sets
+        # that are empty after tokenisation).  Perfect similarity must
+        # only be claimed when the matching actually scored.
+        assert relatedness_value(Relatedness.SIMILARITY, 2.0, 1, 1) == 1.0
+        assert relatedness_value(Relatedness.SIMILARITY, 0.0, 1, -1) == 0.0
+
+    def test_empty_after_tokenization_sets_are_related(self):
+        # sim(empty, empty) == 1.0 end to end: a set whose elements all
+        # tokenise to nothing matches its twin exactly.
+        collection = SetCollection.from_strings([[""], ["a b"]])
+        engine = SilkMoth(collection, SilkMothConfig(delta=0.5))
+        reference = engine.reference_collection([[""]])[0]
+        results = engine.search(reference)
+        assert [r.set_id for r in results] == [0]
+        assert results[0].score == pytest.approx(1.0)
+        assert results[0].relatedness == pytest.approx(1.0)
+
 
 class TestSearchMode:
     def test_example2_containment(self):

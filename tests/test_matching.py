@@ -1,9 +1,10 @@
 """Unit and property tests for the Hungarian matcher and the reduction."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
 
 from repro.core.records import SetCollection
 from repro.matching.hungarian import hungarian_max_weight, scipy_max_weight
@@ -67,6 +68,7 @@ class TestHungarian:
     )
     @settings(max_examples=60, deadline=None)
     def test_matches_scipy_on_random_matrices(self, n, m, seed):
+        pytest.importorskip("scipy")
         rng = np.random.default_rng(seed)
         w = rng.random((n, m))
         assert hungarian_max_weight(w) == pytest.approx(scipy_max_weight(w))
@@ -96,7 +98,7 @@ class TestMatchingScore:
             [["cat"], ["cut"]], kind=SimilarityKind.NEDS, q=2
         )
         phi = SimilarityFunction(SimilarityKind.NEDS)
-        w = build_weight_matrix(collection[0], collection[1], phi)
+        w = np.asarray(build_weight_matrix(collection[0], collection[1], phi))
         assert w[0, 0] == pytest.approx(2 / 3)
 
     def test_alpha_zeroes_weak_edges(self):

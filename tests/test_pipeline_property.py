@@ -1,0 +1,78 @@
+"""Property-based exactness: the staged pipeline equals brute force.
+
+The core claim of the paper (and of the refactor) in one property: for
+*any* collection, reference and configuration, the pipeline returns
+exactly the brute-force related sets -- on every compute backend.  The
+numpy cases skip automatically when numpy is not installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.backends import available_backends
+from repro.baselines.brute_force import brute_force_search
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from strategies import (
+    collections,
+    edit_configs,
+    string_collections,
+    string_sets,
+    token_configs,
+    token_sets,
+)
+
+BACKENDS = [
+    pytest.param(
+        name,
+        marks=()
+        if name in available_backends()
+        else pytest.mark.skip(reason=f"{name} backend unavailable"),
+    )
+    for name in ("python", "numpy")
+]
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_exact(sets, reference_elements, config) -> None:
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    engine = SilkMoth(collection, config)
+    reference = engine.reference_collection([reference_elements])[0]
+    got = engine.search(reference)
+    expected = brute_force_search(reference, collection, config)
+    assert [r.set_id for r in got] == [r.set_id for r in expected]
+    for mine, oracle in zip(got, expected):
+        assert mine.score == pytest.approx(oracle.score, abs=1e-9)
+        assert mine.relatedness == pytest.approx(oracle.relatedness, abs=1e-9)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestPipelineExactness:
+    @_SETTINGS
+    @given(sets=collections(), reference=token_sets(), config=token_configs())
+    def test_token_kinds_match_brute_force(
+        self, backend_name, sets, reference, config
+    ):
+        _assert_exact(sets, reference, replace(config, backend=backend_name))
+
+    @_SETTINGS
+    @given(
+        sets=string_collections(),
+        reference=string_sets(),
+        config=edit_configs(),
+    )
+    def test_edit_kinds_match_brute_force(
+        self, backend_name, sets, reference, config
+    ):
+        _assert_exact(sets, reference, replace(config, backend=backend_name))

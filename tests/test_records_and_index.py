@@ -166,6 +166,21 @@ class TestIndexMutability:
         assert index.compact() == 0
         assert index.compactions == 0
 
+    def test_empty_element_postings_tracked_and_compacted(self):
+        # Empty-after-tokenisation elements live on a dedicated posting
+        # list (they share no token with anything) and must participate
+        # in dead-posting accounting, or tombstoning sets made of them
+        # would never trigger a compaction.
+        collection = SetCollection.from_strings([[""], ["a b"], ["", "c"]])
+        index = InvertedIndex(collection)
+        assert [p.set_id for p in index.empty_postings()] == [0, 2]
+        record = collection.remove_set(0)
+        index.note_removed(record)
+        assert index.dead_fraction > 0.0
+        assert index.compact() == 1
+        assert [p.set_id for p in index.empty_postings()] == [2]
+        assert index.dead_fraction == 0.0
+
     def test_index_over_tombstoned_collection_accounts_dead(self, jaccard_collection):
         jaccard_collection.remove_set(2)
         index = InvertedIndex(jaccard_collection)
