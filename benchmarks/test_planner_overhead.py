@@ -1,0 +1,140 @@
+"""Planner overhead: what does one `plan_query` cost per pass?
+
+The planner runs once per engine construction (and once per
+`QueryPlan.build` for direct callers), so its cost must be negligible
+next to an actual search pass.  This bench profiles the planner on the
+schema-matching workload: decision time with and without index
+statistics, against the time of one full pipeline pass, plus the price
+of the exact full-scan fallback relative to a signature-based pass on
+an identical out-of-constraint configuration.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.planner import IndexProfile, plan_query
+from repro.sim.functions import SimilarityKind
+from repro.workloads.applications import schema_matching, string_matching
+
+#: How many plan_query calls one timing sample aggregates.
+PLAN_REPEATS = 200
+
+
+@pytest.fixture(scope="module")
+def planner_sweep(bench_sizes):
+    """Time planning vs searching on the schema-matching workload."""
+    workload = schema_matching(
+        n_sets=max(80, bench_sizes["schema_matching"] // 4)
+    ).with_config(delta=0.4)
+    collection = workload.collection()
+    engine = SilkMoth(collection, workload.config)
+    reference = collection[0]
+
+    start = time.perf_counter()
+    for _ in range(PLAN_REPEATS):
+        plan_query(workload.config)
+    plan_no_index = (time.perf_counter() - start) / PLAN_REPEATS
+
+    start = time.perf_counter()
+    for _ in range(PLAN_REPEATS):
+        plan_query(workload.config, engine.index)
+    plan_with_index = (time.perf_counter() - start) / PLAN_REPEATS
+
+    start = time.perf_counter()
+    for _ in range(PLAN_REPEATS):
+        IndexProfile.from_index(engine.index)
+    profile_only = (time.perf_counter() - start) / PLAN_REPEATS
+
+    start = time.perf_counter()
+    engine.search(reference, skip_set=0)
+    one_pass = time.perf_counter() - start
+
+    return plan_no_index, plan_with_index, profile_only, one_pass
+
+
+def test_planner_overhead_series(planner_sweep):
+    """Print the planner-vs-pass timing series."""
+    plan_no_index, plan_with_index, profile_only, one_pass = planner_sweep
+    print_series(
+        "Planner overhead per decision vs one search pass",
+        "operation",
+        ["plan (no index)", "plan (+profile)", "profile only", "search pass"],
+        {
+            "seconds": [
+                plan_no_index,
+                plan_with_index,
+                profile_only,
+                one_pass,
+            ]
+        },
+    )
+
+
+def test_planner_is_cheap_relative_to_a_pass(planner_sweep):
+    """A profiled decision must cost a small fraction of one pass."""
+    _, plan_with_index, _, one_pass = planner_sweep
+    # Generous bound: the decision is O(distinct tokens) bookkeeping,
+    # a pass runs signature generation + probes + Hungarian solves.
+    assert plan_with_index < max(0.005, one_pass)
+
+
+def test_fallback_price_is_bounded_and_exact(bench_sizes):
+    """Fallback full scans cost more but return identical results."""
+    workload = string_matching(
+        n_sets=max(60, bench_sizes["string_matching"] // 5),
+        alpha=0.5,
+    ).with_config(delta=0.5, q=2)
+    sets = list(workload.sets)
+    collection = SetCollection.from_strings(
+        sets, kind=SimilarityKind.EDS, q=2
+    )
+
+    def run(scheme: str):
+        engine = SilkMoth(
+            collection, replace(workload.config, scheme=scheme)
+        )
+        reference = collection[0]
+        start = time.perf_counter()
+        results = engine.search(reference, skip_set=0)
+        return (
+            time.perf_counter() - start,
+            [r.set_id for r in results],
+            engine.decision.full_scan,
+        )
+
+    scan_time, scan_results, scan_fallback = run("unweighted")
+    sig_time, sig_results, sig_fallback = run("dichotomy")
+    assert scan_fallback and not sig_fallback
+    assert scan_results == sig_results  # both exact
+    print_series(
+        "Exact fallback (unweighted, alpha=0.5, q=2) vs valid signatures",
+        "path",
+        ["planner full scan", "dichotomy signatures"],
+        {"seconds": [scan_time, sig_time]},
+    )
+
+
+def test_planner_benchmark(bench_sizes, benchmark):
+    """Register one representative planner timing with pytest-benchmark."""
+    workload = schema_matching(
+        n_sets=max(40, bench_sizes["schema_matching"] // 12)
+    )
+    engine = SilkMoth(workload.collection(), workload.config)
+    decision = benchmark(plan_query, workload.config, engine.index)
+    assert decision.signature_valid
+
+
+def test_workload_decisions_are_signature_based():
+    """Table 3 default workloads never need the fallback."""
+    for workload in (
+        string_matching(n_sets=40),
+        schema_matching(n_sets=40),
+    ):
+        decision = workload.planner_decision()
+        assert decision.signature_valid, workload.name
+        assert not decision.full_scan, workload.name

@@ -1,11 +1,19 @@
 """Trace SilkMoth's pipeline decisions for individual set pairs.
 
 The engine's exactness rests on a chain of provable bounds: signature
-validity (Lemma 1), the check filter (Section 5.1) and the nearest-
-neighbour filter (Section 5.2), then maximum matching verification.
-``repro.explain`` replays any (reference, candidate) pair through that
-chain and reports every intermediate quantity -- which is how you debug
-"why wasn't this pair matched?" questions in real integrations.
+validity (Lemma 1, precondition-checked by the query planner), the
+check filter (Section 5.1) and the nearest-neighbour filter
+(Section 5.2), then maximum matching verification.  The ``explain``
+function (:mod:`repro.core.explain`, re-exported as ``repro.explain``)
+replays any (reference, candidate) pair through that chain and reports
+every intermediate quantity -- which is how you debug "why wasn't this
+pair matched?" questions in real integrations.
+
+The same trace is available from the command line, prefixed with the
+planner's plan report::
+
+    silkmoth explain data.txt --metric containment --delta 0.3 \\
+        --alpha 0.2 --reference 0 --candidate 1
 
 Run:  python examples/explain_pipeline.py
 """

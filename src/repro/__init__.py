@@ -57,6 +57,7 @@ from repro.backends import available_backends, get_backend
 from repro.baselines.brute_force import brute_force_discover, brute_force_search
 from repro.baselines.fastjoin import FastJoinBaseline
 from repro.pipeline import QueryPlan
+from repro.planner import IndexProfile, PlannerDecision, format_decision, plan_query
 from repro.service import ServiceStats, SilkMothService
 
 __version__ = "1.0.0"
@@ -67,6 +68,8 @@ __all__ = [
     "ElementRecord",
     "Explanation",
     "FastJoinBaseline",
+    "IndexProfile",
+    "PlannerDecision",
     "QueryPlan",
     "Relatedness",
     "SearchResult",
@@ -88,8 +91,10 @@ __all__ = [
     "dice",
     "eds",
     "explain",
+    "format_decision",
     "format_explanation",
     "get_backend",
+    "plan_query",
     "jaccard",
     "levenshtein",
     "matching_alignment",

@@ -32,6 +32,7 @@ class NumpyBackend(ComputeBackend):
     def size_filter_indices(
         self, sizes: Sequence[int], lo: float, hi: float
     ) -> list[int]:
+        """Indices k with ``lo <= sizes[k] <= hi`` via one vector mask."""
         if not len(sizes):
             return []
         array = np.asarray(sizes, dtype=np.float64)
@@ -40,11 +41,13 @@ class NumpyBackend(ComputeBackend):
     def threshold_indices(
         self, values: Sequence[float], cutoff: float
     ) -> list[int]:
+        """Indices k with ``values[k] >= cutoff`` via one vector mask."""
         if not len(values):
             return []
         return np.flatnonzero(np.asarray(values, dtype=np.float64) >= cutoff).tolist()
 
     def add_scalar(self, scalar: float, values: Sequence[float]) -> list[float]:
+        """Elementwise ``scalar + values`` as one vector add."""
         if not len(values):
             return []
         return (scalar + np.asarray(values, dtype=np.float64)).tolist()
@@ -56,6 +59,12 @@ class NumpyBackend(ComputeBackend):
         targets: Sequence[frozenset[int]],
         phi: SimilarityFunction,
     ) -> list[float]:
+        """Vectorised ``phi_alpha(probe, target)`` per target.
+
+        Computes intersection counts once, then applies the kind's
+        closed-form formula and the alpha cut as array expressions;
+        results equal the scalar functions bit for bit.
+        """
         count = len(targets)
         if count == 0:
             return []
@@ -96,6 +105,7 @@ class NumpyBackend(ComputeBackend):
     def weight_matrix(
         self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
     ) -> np.ndarray:
+        """Dense ndarray weight matrix (sparse fill, zeros elsewhere)."""
         matrix = np.zeros((len(reference), len(candidate)))
 
         def set_entry(i: int, j: int, weight: float) -> None:
@@ -105,9 +115,11 @@ class NumpyBackend(ComputeBackend):
         return matrix
 
     def assignment_score(self, matrix: np.ndarray) -> float:
+        """Maximum-weight assignment via the numpy Hungarian solve."""
         if matrix.size == 0:
             return 0.0
         return hungarian_max_weight_numpy(matrix)
 
     def matrix_entry(self, matrix: np.ndarray, i: int, j: int) -> float:
+        """``matrix[i, j]`` as a Python float."""
         return float(matrix[i, j])

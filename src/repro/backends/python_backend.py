@@ -24,14 +24,17 @@ class PythonBackend(ComputeBackend):
     def size_filter_indices(
         self, sizes: Sequence[int], lo: float, hi: float
     ) -> list[int]:
+        """Indices k with ``lo <= sizes[k] <= hi`` (plain list scan)."""
         return [k for k, size in enumerate(sizes) if lo <= size <= hi]
 
     def threshold_indices(
         self, values: Sequence[float], cutoff: float
     ) -> list[int]:
+        """Indices k with ``values[k] >= cutoff`` (plain list scan)."""
         return [k for k, value in enumerate(values) if value >= cutoff]
 
     def add_scalar(self, scalar: float, values: Sequence[float]) -> list[float]:
+        """Elementwise ``scalar + values`` as a list comprehension."""
         return [scalar + value for value in values]
 
     # -- similarity kernels --------------------------------------------
@@ -41,12 +44,14 @@ class PythonBackend(ComputeBackend):
         targets: Sequence[frozenset[int]],
         phi: SimilarityFunction,
     ) -> list[float]:
+        """``phi_alpha(probe, target)`` per target via the scalar formulas."""
         return [phi.tokens(probe, target) for target in targets]
 
     # -- verification kernels ------------------------------------------
     def weight_matrix(
         self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
     ) -> list[list[float]]:
+        """Dense list-of-lists weight matrix (sparse fill, zeros elsewhere)."""
         matrix = [[0.0] * len(candidate) for _ in range(len(reference))]
 
         def set_entry(i: int, j: int, weight: float) -> None:
@@ -56,9 +61,11 @@ class PythonBackend(ComputeBackend):
         return matrix
 
     def assignment_score(self, matrix: list[list[float]]) -> float:
+        """Maximum-weight assignment via the pure-Python Hungarian solve."""
         if not matrix or not matrix[0]:
             return 0.0
         return hungarian_max_weight_python(matrix)
 
     def matrix_entry(self, matrix: list[list[float]], i: int, j: int) -> float:
+        """``matrix[i][j]``."""
         return matrix[i][j]

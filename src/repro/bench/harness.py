@@ -27,10 +27,12 @@ class BenchResult:
 
     @property
     def initial_candidates(self) -> int:
+        """Candidates generated before any filtering, across passes."""
         return self.stats.initial_candidates
 
     @property
     def verified(self) -> int:
+        """Candidates that reached exact verification, across passes."""
         return self.stats.verified
 
 

@@ -9,6 +9,9 @@ works on real files without writing any Python:
   finds everything related to one reference set (SEARCH mode).
 * ``silkmoth stats data.csv --format csv-columns`` prints the Table 3
   style dataset profile without running any search.
+* ``silkmoth explain titles.txt --reference 0`` prints the planner's
+  query plan (scheme, backend, q validity, fallback decision); add
+  ``--candidate N`` to also trace one pair through the pipeline.
 * ``silkmoth service snapshot|query|info`` drives the online serving
   layer: build a mutable service snapshot, serve batched reference
   queries against it (with cache and fan-out), or inspect one.
@@ -96,6 +99,7 @@ def build_config(args: argparse.Namespace) -> SilkMothConfig:
 def build_collection(
     sets: list[list[str]], config: SilkMothConfig
 ) -> SetCollection:
+    """Tokenise raw *sets* per the config's similarity kind and q."""
     return SetCollection.from_strings(
         sets, kind=config.similarity, q=config.effective_q
     )
@@ -128,13 +132,20 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         "--q",
         type=int,
         default=None,
-        help="gram length for edit similarity (default: largest valid q)",
+        help=(
+            "gram length for edit similarity (default: largest valid q; "
+            "out-of-constraint values stay exact via the planner's "
+            "full-scan fallback -- see `silkmoth explain`)"
+        ),
     )
     parser.add_argument(
         "--scheme",
-        choices=SCHEME_NAMES,
+        choices=("auto",) + SCHEME_NAMES,
         default="dichotomy",
-        help="signature scheme (default: dichotomy)",
+        help=(
+            "signature scheme (default: dichotomy; 'auto' lets the "
+            "planner's cost model choose from index statistics)"
+        ),
     )
     parser.add_argument(
         "--no-check-filter", action="store_true", help="disable the check filter"
@@ -209,6 +220,7 @@ def _write_output(args, results, kind: str, labels: list[str]) -> None:
 
 
 def cmd_discover(args: argparse.Namespace) -> int:
+    """``silkmoth discover``: all related pairs within the input."""
     config = build_config(args)
     sets, labels = load_sets(args.input, args.format)
     if not sets:
@@ -232,6 +244,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
+    """``silkmoth search``: everything related to one reference set."""
     config = build_config(args)
     sets, labels = load_sets(args.input, args.format)
     if not sets:
@@ -268,6 +281,7 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the query plan report, plus a pair trace with --candidate."""
     from repro.core.explain import explain, format_explanation
 
     config = build_config(args)
@@ -275,7 +289,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if not sets:
         print("no sets found in input", file=sys.stderr)
         return 1
-    for name, index in (("--reference", args.reference), ("--candidate", args.candidate)):
+    checked = [("--reference", args.reference)]
+    if args.candidate is not None:
+        checked.append(("--candidate", args.candidate))
+    for name, index in checked:
         if not 0 <= index < len(sets):
             print(
                 f"{name} {index} out of range (0..{len(sets) - 1})",
@@ -285,8 +302,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
     collection = build_collection(sets, config)
     engine = SilkMoth(collection, config)
     reference = collection[args.reference]
-    explanation = explain(engine, reference, args.candidate)
-    print(format_explanation(explanation, engine, reference))
+    print(engine.plan(reference, skip_set=args.reference).describe())
+    if args.candidate is not None:
+        print()
+        explanation = explain(engine, reference, args.candidate)
+        print(format_explanation(explanation, engine, reference))
     return 0
 
 
@@ -344,9 +364,12 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
 def cmd_service_snapshot(args: argparse.Namespace) -> int:
     """Build a version-2 service snapshot from an input dataset.
 
-    Works on the collection directly -- the snapshot stores raw sets
-    plus tombstones, so there is no need to build the inverted index
-    here (the serving process builds it on load).
+    The snapshot stores raw sets plus tombstones; the serving process
+    rebuilds the inverted index on load and re-plans against its own
+    statistics, so the planner metadata recorded here is config-only
+    (validity and fallback facts are exact; ``scheme="auto"`` and
+    backend choices are finalised at serving time) and flagged
+    ``planned_without_index``.
     """
     from repro.io.persistence import save_service_snapshot
 
@@ -362,8 +385,21 @@ def cmd_service_snapshot(args: argparse.Namespace) -> int:
             print(f"--remove {set_id} out of range or duplicated", file=sys.stderr)
             return 1
         collection.remove_set(set_id)
+    from repro.planner import plan_query
+
+    # Config-only plan: the validity/fallback facts are exact, and the
+    # serving process re-plans against live index statistics on load
+    # anyway -- building an index here just for metadata would double
+    # the snapshot cost.  The flag makes the provenance explicit.
+    planner_meta = plan_query(config).to_dict()
+    planner_meta["planned_without_index"] = True
     save_service_snapshot(
-        args.output, collection, metadata={"generation": len(removals)}
+        args.output,
+        collection,
+        metadata={
+            "generation": len(removals),
+            "planner": planner_meta,
+        },
     )
     if not args.quiet:
         print(
@@ -420,6 +456,11 @@ def cmd_service_info(args: argparse.Namespace) -> int:
     print(f"tombstones:   {len(deleted)}" + (f" {deleted}" if deleted else ""))
     if metadata:
         print(f"generation:   {metadata.get('generation', 0)}")
+        planner = metadata.get("planner")
+        if isinstance(planner, dict):
+            for key in ("scheme", "backend", "q", "full_scan"):
+                if key in planner:
+                    print(f"planner.{key}: {planner[key]}")
         stats = metadata.get("stats")
         if isinstance(stats, dict):
             for key in sorted(stats):
@@ -428,6 +469,7 @@ def cmd_service_info(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """``silkmoth stats``: profile the input dataset (Table 3 style)."""
     sets, labels = load_sets(args.input, args.format)
     if not sets:
         print("no sets found in input", file=sys.stderr)
@@ -449,6 +491,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="silkmoth",
         description=(
@@ -484,14 +527,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_cmd = sub.add_parser(
         "explain",
-        help="trace the pipeline's decisions for one (reference, candidate) pair",
+        help=(
+            "print the planner's query plan for a reference, and trace "
+            "the pipeline's decisions for one candidate with --candidate"
+        ),
     )
     _add_common_options(explain_cmd)
     explain_cmd.add_argument(
         "--reference", type=int, required=True, help="reference set index"
     )
     explain_cmd.add_argument(
-        "--candidate", type=int, required=True, help="candidate set index"
+        "--candidate",
+        type=int,
+        default=None,
+        help="candidate set index (omit for the plan report alone)",
     )
     explain_cmd.set_defaults(func=cmd_explain)
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, replace
 
 from repro.backends import KNOWN_BACKENDS
 from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.signatures import SCHEME_NAMES
 from repro.tokenize.tokenizers import max_q_for_alpha
 
 
@@ -34,8 +35,15 @@ class SilkMothConfig:
     q:
         Gram length for edit similarity.  ``None`` picks the maximum q
         allowed by ``alpha`` (the evaluation's rule, Section 8.1).
+        Pinning a q outside the ``q < alpha / (1 - alpha)`` constraint
+        is allowed: the query planner (:mod:`repro.planner`) keeps the
+        results exact, falling back to a full scan when the configured
+        signature scheme cannot certify Lemma 1 for that q (see
+        ``docs/parameters.md``).
     scheme:
-        Signature scheme registry name (see :mod:`repro.signatures`).
+        Signature scheme registry name (see :mod:`repro.signatures`),
+        or ``"auto"`` to let the planner's cost model choose one from
+        index statistics.
     check_filter / nn_filter:
         Refinement toggles (Section 5.1 / 5.2).
     reduction:
@@ -72,6 +80,11 @@ class SilkMothConfig:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
         if self.q is not None and self.q < 1:
             raise ValueError(f"q must be >= 1, got {self.q}")
+        if self.scheme != "auto" and self.scheme not in SCHEME_NAMES:
+            raise ValueError(
+                f"scheme must be 'auto' or one of {SCHEME_NAMES}, "
+                f"got {self.scheme!r}"
+            )
         if self.backend is not None and self.backend not in KNOWN_BACKENDS:
             raise ValueError(
                 f"backend must be one of {KNOWN_BACKENDS} or None, "

@@ -12,6 +12,14 @@ pass is a :class:`repro.pipeline.QueryPlan` (signature ->
 candidate-select -> check -> nn-filter -> verify) executed on the
 configured compute backend.  The process-pool, partitioned and service
 drivers build the very same plans, so there is exactly one query path.
+
+Every engine is planner-gated: construction runs
+:func:`repro.planner.plan_query` once, which resolves ``scheme="auto"``
+and an unset backend from index statistics and -- crucially for
+exactness -- detects configurations whose signature scheme cannot
+certify Lemma 1 (edit similarity with an out-of-constraint gram
+length) and routes those passes through an exact full scan instead of
+silently dropping related sets.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from repro.core.stats import PassStats, RunStats
 from repro.index.inverted import InvertedIndex
 from repro.pipeline.driver import search_rows
 from repro.pipeline.plan import QueryPlan
+from repro.planner.planner import PlannerDecision, plan_query
+from repro.planner.report import format_decision
 from repro.signatures import get_scheme
 
 
@@ -72,8 +82,9 @@ class SilkMoth:
         self.config = config
         self.phi = config.phi
         self.index = index if index is not None else InvertedIndex(collection)
-        self.scheme = get_scheme(config.scheme)
-        self.backend = get_backend(config.backend)
+        self.decision: PlannerDecision = plan_query(config, self.index)
+        self.scheme = get_scheme(self.decision.scheme)
+        self.backend = get_backend(self.decision.backend)
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -100,7 +111,12 @@ class SilkMoth:
     def plan(
         self, reference: SetRecord, skip_set: int | None = None
     ) -> QueryPlan:
-        """The staged :class:`QueryPlan` one search pass will execute."""
+        """The staged :class:`QueryPlan` one search pass will execute.
+
+        The plan carries the engine's planner decision;
+        ``plan(...).describe()`` renders the same report as ``silkmoth
+        explain``.
+        """
         return QueryPlan.build(
             reference=reference,
             config=self.config,
@@ -109,7 +125,24 @@ class SilkMoth:
             scheme=self.scheme,
             backend=self.backend,
             skip_set=skip_set,
+            decision=self.decision,
         )
+
+    def replan(self) -> PlannerDecision:
+        """Recompute the planner decision from current index statistics.
+
+        Useful after heavy mutation (the service calls this when it
+        compacts): validity never changes -- it is parameter arithmetic
+        -- but the cost model's scheme/backend choices may.
+        """
+        self.decision = plan_query(self.config, self.index)
+        self.scheme = get_scheme(self.decision.scheme)
+        self.backend = get_backend(self.decision.backend)
+        return self.decision
+
+    def plan_report(self) -> str:
+        """Human-readable report of this engine's planner decision."""
+        return format_decision(self.decision, self.config)
 
     def search(
         self, reference: SetRecord, skip_set: int | None = None
@@ -123,7 +156,9 @@ class SilkMoth:
     ) -> tuple[list[SearchResult], PassStats]:
         """:meth:`search` plus the pass's funnel counters."""
         if len(reference) == 0:
-            return [], PassStats(backend=self.backend.name)
+            return [], PassStats(
+                backend=self.backend.name, scheme=self.scheme.name
+            )
         results, stats = self.plan(reference, skip_set=skip_set).execute()
         self.stats.add(stats)
         return results, stats

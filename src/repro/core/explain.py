@@ -10,7 +10,9 @@ examples and the CLI print.
 
 This is a diagnostic tool: it recomputes rather than instruments, so
 explaining is slower than searching, but it cannot drift from the real
-pipeline because it calls the same signature/filter/score functions.
+pipeline because it calls the same signature/filter/score functions and
+honours the engine's planner decision (a planner full-scan fallback
+explains as signature-less, exactly as the pass executes).
 """
 
 from __future__ import annotations
@@ -79,9 +81,14 @@ def explain(
     candidate = engine.collection[candidate_id]
     theta = config.delta * len(reference)
 
-    signature = engine.scheme.generate(
-        reference, theta - EPSILON, phi, engine.index
-    )
+    if engine.decision.full_scan:
+        # The planner routed this configuration through the exact
+        # full-scan fallback; the pass never generates a signature.
+        signature = None
+    else:
+        signature = engine.scheme.generate(
+            reference, theta - EPSILON, phi, engine.index
+        )
 
     survives: list[str] = []
     shares = True

@@ -26,6 +26,12 @@ class PassStats:
     matches: int = 0
     #: Compute backend that executed the pass ("python" / "numpy").
     backend: str = ""
+    #: Signature scheme the plan resolved to ("" before execution).
+    scheme: str = ""
+    #: Non-empty when the query planner routed this pass through the
+    #: exact full-scan fallback (invalid signature parameters); a plain
+    #: scheme-returned-None full scan leaves this "".
+    fallback_reason: str = ""
     #: Wall-clock seconds per stage, keyed by stage name
     #: ("signature", "select", "check", "nn", "verify").
     stage_seconds: dict = field(default_factory=dict)
@@ -38,6 +44,9 @@ class RunStats:
     passes: int = 0
     signature_tokens: int = 0
     full_scans: int = 0
+    #: How many of the full scans were planner fallbacks (invalid
+    #: signature parameters) rather than empty-scheme degradations.
+    planner_fallbacks: int = 0
     initial_candidates: int = 0
     after_check: int = 0
     after_nn: int = 0
@@ -51,6 +60,7 @@ class RunStats:
         self.passes += 1
         self.signature_tokens += stats.signature_tokens
         self.full_scans += int(stats.full_scan)
+        self.planner_fallbacks += int(bool(stats.fallback_reason))
         self.initial_candidates += stats.initial_candidates
         self.after_check += stats.after_check
         self.after_nn += stats.after_nn

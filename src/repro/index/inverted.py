@@ -186,6 +186,10 @@ class InvertedIndex:
         """
         return self._empty
 
+    def tokens(self) -> Iterable[int]:
+        """The indexed token ids (one per posting list), unordered."""
+        return self._lists.keys()
+
     def total_postings(self) -> int:
         """Total number of postings stored (index size diagnostic)."""
         return sum(len(postings) for postings in self._lists.values())

@@ -3,11 +3,11 @@
 RELATED SET DISCOVERY runs one search pass per reference and applies
 two rules on top (Section 3): in self-discovery the reference must not
 match itself, and under the symmetric SET-SIMILARITY metric each
-unordered pair is reported exactly once.  Those rules used to be
-re-implemented by each driver (serial, process-pool, partitioned);
-they now live here, so the serial engine, :mod:`repro.core.parallel`,
-:mod:`repro.core.partitioned` and the service's batch fan-out cannot
-drift apart.
+unordered pair is reported exactly once.  Those rules live here and
+only here: the serial engine, :mod:`repro.core.parallel`,
+:mod:`repro.core.partitioned` and the service's batch fan-out all call
+:func:`search_rows`, so the pair semantics cannot drift apart across
+drivers (none of them re-implements any part of the funnel).
 """
 
 from __future__ import annotations

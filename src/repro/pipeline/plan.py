@@ -1,11 +1,19 @@
 """Query plans: one pass of the staged pipeline, built once, run once.
 
 A :class:`QueryPlan` binds everything a search pass needs -- reference,
-thresholds, collection, index, signature scheme, compute backend, and
-the stage sequence -- so every driver (serial engine, process-pool
-discovery, partitioned discovery, the online service) executes the
-*same* code path.  Exactness arguments, funnel counters and future
-optimisations therefore live in exactly one place.
+thresholds, collection, index, signature scheme, compute backend, the
+planner's :class:`~repro.planner.PlannerDecision`, and the stage
+sequence -- so every driver (serial engine, process-pool discovery,
+partitioned discovery, the online service) executes the *same* code
+path.  Exactness arguments, funnel counters and future optimisations
+therefore live in exactly one place.
+
+Plans are planner-gated: when the decision says the configured
+signature scheme cannot certify Lemma 1 for these parameters (an
+out-of-constraint edit-similarity q under a prefix-style scheme), the
+signature stage is disabled and the pass runs the exact full-scan
+path -- same results as brute force, reported via
+``PassStats.fallback_reason`` and :meth:`QueryPlan.describe`.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from repro.core.records import SetCollection, SetRecord
 from repro.core.results import SearchResult
 from repro.core.stats import PassStats
 from repro.index.inverted import InvertedIndex
+from repro.planner.planner import PlannerDecision, plan_query
+from repro.planner.report import format_decision, format_stage_list
 from repro.pipeline.stages import (
     CandidateSelectStage,
     CheckFilterStage,
@@ -32,6 +42,7 @@ from repro.pipeline.stages import (
     VerifyStage,
 )
 from repro.sim.functions import SimilarityFunction
+from repro.signatures import get_scheme
 from repro.signatures.base import SignatureScheme
 
 
@@ -72,6 +83,7 @@ class QueryPlan:
     size_range: tuple[float, float]
     skip_set: int | None
     stages: tuple[Stage, ...]
+    decision: PlannerDecision | None = None
 
     @classmethod
     def build(
@@ -80,13 +92,35 @@ class QueryPlan:
         config: SilkMothConfig,
         collection: SetCollection,
         index: InvertedIndex,
-        scheme: SignatureScheme,
+        scheme: SignatureScheme | None = None,
         backend: ComputeBackend | None = None,
         skip_set: int | None = None,
+        decision: PlannerDecision | None = None,
     ) -> "QueryPlan":
-        """Assemble the stage sequence for one reference under *config*."""
+        """Assemble the stage sequence for one reference under *config*.
+
+        *decision* is the planner verdict governing the pass; the
+        engine passes its own (computed once per engine), while direct
+        callers get one planned on the spot.  *scheme* and *backend*
+        default to the decision's choices; a caller-supplied scheme is
+        planned for (and exactness-gated) by its own name, never by
+        ``config.scheme``.
+        """
+        if decision is None:
+            decision = plan_query(
+                config,
+                index,
+                scheme_override=None if scheme is None else scheme.name,
+            )
+        elif scheme is not None and scheme.name != decision.scheme:
+            raise ValueError(
+                f"scheme {scheme.name!r} does not match the planner "
+                f"decision's scheme {decision.scheme!r}"
+            )
+        if scheme is None:
+            scheme = get_scheme(decision.scheme)
         if backend is None:
-            backend = get_backend(config.backend)
+            backend = get_backend(decision.backend)
         return cls(
             reference=reference,
             config=config,
@@ -98,8 +132,9 @@ class QueryPlan:
             theta=config.delta * len(reference),
             size_range=size_range(config, len(reference)),
             skip_set=skip_set,
+            decision=decision,
             stages=(
-                SignatureStage(),
+                SignatureStage(enabled=not decision.full_scan),
                 CandidateSelectStage(),
                 CheckFilterStage(enabled=config.check_filter),
                 NNFilterStage(enabled=config.nn_filter),
@@ -107,9 +142,21 @@ class QueryPlan:
             ),
         )
 
+    def describe(self) -> str:
+        """The human-readable plan report (planner decision + stages)."""
+        if self.decision is None:
+            return "query plan\n  (built without a planner decision)"
+        return (
+            format_decision(self.decision, self.config)
+            + "\n  stages:\n"
+            + format_stage_list(self.decision, self.config)
+        )
+
     def execute(self) -> tuple[list[SearchResult], PassStats]:
         """Run the pass; returns results and its funnel/timing stats."""
-        stats = PassStats(backend=self.backend.name)
+        stats = PassStats(backend=self.backend.name, scheme=self.scheme.name)
+        if self.decision is not None and self.decision.full_scan:
+            stats.fallback_reason = self.decision.fallback_reason
         if len(self.reference) == 0:
             return [], stats
         state = PipelineState()

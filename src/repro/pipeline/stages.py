@@ -60,11 +60,23 @@ class SignatureStage(Stage):
     A ``None`` signature means the scheme admits no valid signature for
     these parameters (possible for edit similarity when q is too large,
     Section 7.3); the select stage then falls back to a full scan.
+
+    The stage is disabled entirely when the query planner determined
+    the scheme cannot certify Lemma 1 for the configured ``(similarity,
+    alpha, q)`` -- e.g. a prefix-style scheme with an out-of-constraint
+    gram length -- which forces the same exact full scan without
+    generating a misleading (invalid) signature.
     """
 
     name = "signature"
 
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
     def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Generate the signature unless the planner disabled the stage."""
+        if not self.enabled:
+            return
         state.signature = plan.scheme.generate(
             plan.reference, plan.theta - EPSILON, plan.phi, plan.index
         )
@@ -82,6 +94,7 @@ class CandidateSelectStage(Stage):
     name = "select"
 
     def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Probe the index (or scan every live set) into a batch."""
         lo, hi = plan.size_range
         if state.signature is None:
             state.full_scan = True
@@ -135,6 +148,7 @@ class CheckFilterStage(Stage):
         self.enabled = enabled
 
     def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Prune the batch against theta by residual + witnessed gains."""
         if self.enabled and not state.full_scan and len(state.batch):
             residual = sum(state.signature.element_bounds)
             estimates = plan.backend.add_scalar(residual, state.batch.gains)
@@ -155,6 +169,7 @@ class NNFilterStage(Stage):
         self.enabled = enabled
 
     def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Refine surviving bounds with exact NN searches and prune."""
         if self.enabled and not state.full_scan and len(state.batch):
             keep, estimates = nn_filter_columns(
                 plan.reference,
@@ -183,6 +198,7 @@ class VerifyStage(Stage):
     name = "verify"
 
     def run(self, plan: "QueryPlan", state: PipelineState, stats: PassStats) -> None:
+        """Score every survivor exactly and emit the related ones."""
         config = plan.config
         use_reduction = (
             config.reduction

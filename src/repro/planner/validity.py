@@ -1,0 +1,147 @@
+"""Signature-validity preconditions (paper Lemma 1, Sections 7.1-7.3, 8.1).
+
+SilkMoth's candidate selection is exact only while Lemma 1 holds: every
+set related to the reference must share at least one signature token.
+For the token-based similarity kinds that is unconditional -- two
+elements with ``phi > 0`` share a word token.  For the edit-based kinds
+it is *not*: two strings can have positive (even large) edit similarity
+while sharing no q-gram at all, so a signature scheme whose validity
+argument counts shared tokens can silently drop related sets.
+
+This module states the precondition lemmas as code, so the query
+planner can decide per configuration whether signature-based candidate
+selection is provably exact or the pass must fall back to a full scan.
+
+Two scheme families, two validity arguments
+-------------------------------------------
+
+``bound`` family (``weighted``, ``sim_thresh``, ``skyline``,
+``dichotomy``, ``exhaustive``, ``random``):
+    these schemes certify ``sum_i u_i < theta`` where ``u_i`` is the
+    per-element bound of :mod:`repro.signatures.weights`.  For the edit
+    kinds that bound is ``|r_i| / (|r_i| + k_i)`` with ``k_i`` selected
+    q-chunks: a candidate element sharing none of the ``k_i`` chunks
+    needs at least one edit operation per absent chunk (chunk spans are
+    disjoint), so ``LD >= k_i`` and the bound follows *for every q*.
+    The alpha saturation rule only zeroes a bound once
+    ``bound(budget) < alpha``, which is the same arithmetic.  Hence the
+    bound family is valid for any gram length.
+
+``prefix`` family (``unweighted``, ``comb_unweighted``):
+    the Section 4.2 argument removes ``ceil(theta) - 1`` token
+    occurrences, reasoning that a score of ``theta`` needs at least
+    ``ceil(theta)`` element pairs with ``phi_alpha > 0``, *each sharing
+    a token*.  That last step requires the no-shared-gram similarity
+    cap (Section 7.1) to vanish under the alpha threshold -- the
+    evaluation's ``q < alpha / (1 - alpha)`` rule (Section 8.1,
+    footnote 11).  Out of that regime a related set can evade the
+    signature entirely; see ``tests/test_planner.py`` for concrete
+    reproductions (including the formerly-missed ``alpha=0.5, q=2``
+    case, and ``q=1`` Eds with ``alpha <= 1/3``).
+
+The cap itself is sharper than the paper's generic formula at ``q=1``:
+no shared 1-gram means no shared character, which forces
+``LD >= max(|x|, |y|)`` and therefore ``Eds <= 1/3`` and ``NEds = 0``.
+:func:`no_share_similarity_cap` returns the tight value so the planner
+never falls back when the defaults (``q = 1`` for ``alpha <= 0.5``) are
+actually safe.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import EPSILON
+from repro.sim.functions import SimilarityKind
+
+#: Scheme registry names whose validity argument counts shared-token
+#: pairs (Section 4.2 prefix-style removal) -- exact for the edit kinds
+#: only under the no-share cap condition below.
+PREFIX_SCHEMES = frozenset({"unweighted", "comb_unweighted"})
+
+#: Scheme registry names whose validity argument certifies
+#: ``sum_i u_i < theta`` from per-element bounds -- exact for every q.
+BOUND_SCHEMES = frozenset(
+    {"weighted", "sim_thresh", "skyline", "dichotomy", "exhaustive", "random"}
+)
+
+
+def scheme_family(scheme: str) -> str:
+    """``"prefix"`` or ``"bound"``: which validity argument *scheme* uses."""
+    if scheme in PREFIX_SCHEMES:
+        return "prefix"
+    if scheme in BOUND_SCHEMES:
+        return "bound"
+    raise ValueError(f"unknown signature scheme {scheme!r}")
+
+
+def no_share_similarity_cap(kind: SimilarityKind, q: int) -> float:
+    """Least upper bound on ``phi(x, y)`` over non-empty elements sharing
+    no index token.
+
+    Token kinds: a shared word is the only source of similarity, so the
+    cap is 0.  Edit kinds with ``q = 1``: no shared character forces
+    ``LD >= max(|x|, |y|)``, hence ``NEds = 0`` and ``Eds <= 1/3``.
+    Edit kinds with ``q >= 2``: every q-chunk of ``x`` is absent from
+    ``y``, so ``LD >= ceil(|x| / q)`` and both similarities are at most
+    ``q / (q + 1)`` (Section 7.1).
+    """
+    if kind.is_token_based:
+        return 0.0
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if q == 1:
+        return 0.0 if kind is SimilarityKind.NEDS else 1.0 / 3.0
+    return q / (q + 1.0)
+
+
+def q_constraint_satisfied(alpha: float, q: int) -> bool:
+    """The evaluation's gram-length rule ``q < alpha / (1 - alpha)``
+    (Section 8.1, footnote 11), stated as ``alpha > q / (q + 1)``.
+
+    This is the *paper's* precondition; :func:`prefix_scheme_valid` is
+    the sharper per-kind test the planner actually enforces.
+    """
+    return alpha > q / (q + 1.0) + EPSILON
+
+
+def prefix_scheme_valid(kind: SimilarityKind, alpha: float, q: int) -> bool:
+    """Whether the prefix-family validity argument holds for these
+    parameters: every element pair with ``phi_alpha > 0`` must share an
+    index token.
+
+    True when the no-share cap is 0 (a non-sharing pair contributes
+    nothing to the matching) or falls strictly below ``alpha`` (the
+    threshold zeroes it).
+    """
+    cap = no_share_similarity_cap(kind, q)
+    return cap <= 0.0 or alpha > cap + EPSILON
+
+
+def signature_scheme_valid(
+    scheme: str, kind: SimilarityKind, alpha: float, q: int
+) -> bool:
+    """Whether *scheme* provably satisfies Lemma 1 for these parameters.
+
+    Bound-family schemes are valid for every ``(kind, alpha, q)``;
+    prefix-family schemes additionally need
+    :func:`prefix_scheme_valid`.  When this returns False the planner
+    must route the pass through the exact full-scan fallback.
+    """
+    if scheme_family(scheme) == "bound":
+        return True
+    return prefix_scheme_valid(kind, alpha, q)
+
+
+def max_prefix_valid_q(kind: SimilarityKind, alpha: float, cap: int = 64) -> int | None:
+    """Largest gram length keeping the prefix family valid, or ``None``.
+
+    Inverts :func:`prefix_scheme_valid`: for ``alpha > 1/2`` this is
+    the paper's ``q < alpha / (1 - alpha)`` value; below that only the
+    tight ``q = 1`` caps can save the argument (``NEds`` always,
+    ``Eds`` when ``alpha > 1/3``).
+    """
+    if kind.is_token_based:
+        return 1
+    for q in range(cap, 1, -1):
+        if alpha > q / (q + 1.0) + EPSILON:
+            return q
+    return 1 if prefix_scheme_valid(kind, alpha, 1) else None

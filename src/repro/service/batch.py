@@ -1,4 +1,8 @@
-"""Batch query planning: deduplication and parallel fan-out helpers.
+"""Batch scheduling: deduplication and parallel fan-out helpers.
+
+(Not to be confused with :mod:`repro.planner`, which decides *how* a
+single pass runs; this module decides *which* references in a batch
+need a pass at all.)
 
 ``search_many`` answers a batch of references in three buckets: exact
 duplicates within the batch collapse onto one computation, previously

@@ -44,6 +44,10 @@ from repro.service.cache import (
 from repro.service.stats import ServiceStats
 from repro.tokenize.tokenizers import Tokenizer
 
+#: Re-plan (cost model only) once the live-set count grows to this
+#: multiple of the count the current decision was computed at.
+REPLAN_GROWTH_FACTOR = 2
+
 
 class SilkMothService:
     """A query-serving, mutable wrapper around one SilkMoth engine.
@@ -88,18 +92,24 @@ class SilkMothService:
         #: generations are never served.
         self.generation = 0
         self._config_fp = config_fingerprint(config)
+        #: Live-set count the current planner decision was computed at;
+        #: growth past REPLAN_GROWTH_FACTOR of it triggers a re-plan.
+        self._planned_live_sets = collection.live_count
 
     # -- convenience views ----------------------------------------------
     @property
     def config(self) -> SilkMothConfig:
+        """The engine configuration this service serves under."""
         return self.engine.config
 
     @property
     def collection(self) -> SetCollection:
+        """The served collection (live sets plus tombstones)."""
         return self.engine.collection
 
     @property
     def index(self):
+        """The engine's inverted index."""
         return self.engine.index
 
     def live_set_ids(self) -> list[int]:
@@ -116,11 +126,28 @@ class SilkMothService:
         if len(self.cache):
             self.stats.invalidations += 1
 
+    def _maybe_replan(self) -> None:
+        """Re-plan when the collection has outgrown the last decision.
+
+        Removals funnel through compaction (which re-plans), but an
+        insert-only service never compacts, so growth gets its own
+        trigger: whenever the live-set count has grown past
+        :data:`REPLAN_GROWTH_FACTOR` times the count the current
+        decision was computed at.  Exactness never depends on this --
+        only the cost model's scheme/backend choices do.
+        """
+        live = self.collection.live_count
+        threshold = max(1, self._planned_live_sets) * REPLAN_GROWTH_FACTOR
+        if live >= threshold:
+            self.engine.replan()
+            self._planned_live_sets = live
+
     def add_set(self, elements: Sequence[str]) -> SetRecord:
         """Append one set; it is searchable immediately."""
         record = self.engine.add_set(elements)
         self.stats.adds += 1
         self._mutated()
+        self._maybe_replan()
         return record
 
     def remove_set(self, set_id: int) -> SetRecord:
@@ -151,11 +178,29 @@ class SilkMothService:
             self.compact()
 
     def compact(self) -> int:
-        """Drop tombstoned postings from the index now; returns how many."""
+        """Drop tombstoned postings from the index now; returns how many.
+
+        Compaction is the service's natural re-planning point: the
+        workload statistics the planner's cost model keyed on may have
+        drifted, so the engine recomputes its decision (exactness never
+        depends on this -- validity is parameter arithmetic).
+        """
         removed = self.index.compact()
         if removed:
             self.stats.compactions += 1
+            self.engine.replan()
+            self._planned_live_sets = self.collection.live_count
         return removed
+
+    # -- planning -------------------------------------------------------
+    @property
+    def decision(self):
+        """The engine's current :class:`~repro.planner.PlannerDecision`."""
+        return self.engine.decision
+
+    def plan_report(self) -> str:
+        """Human-readable planner report for the serving configuration."""
+        return self.engine.plan_report()
 
     # -- queries --------------------------------------------------------
     def _make_reference(self, elements: Sequence[str]) -> SetRecord:
@@ -263,6 +308,7 @@ class SilkMothService:
             "generation": self.generation,
             "config_fingerprint": self._config_fp,
             "stats": self.stats.to_dict(),
+            "planner": self.engine.decision.to_dict(),
         }
         save_service_snapshot(path, self.collection, metadata)
         self.stats.snapshots_saved += 1

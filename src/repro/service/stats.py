@@ -71,10 +71,12 @@ class ServiceStats:
 
     @property
     def total_query_seconds(self) -> float:
+        """Lifetime wall-clock seconds across served queries."""
         return self.query_seconds_total
 
     @property
     def mean_query_seconds(self) -> float:
+        """Mean per-query latency over the service lifetime."""
         return self.query_seconds_total / self.queries if self.queries else 0.0
 
     def record_query(self, latency: float, cache_hit: bool) -> None:

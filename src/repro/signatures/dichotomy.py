@@ -31,6 +31,7 @@ class DichotomyScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Greedy selection that saturates whole elements (Section 6.4)."""
         if phi.alpha <= 0.0:
             # Identical to the weighted scheme when no alpha budget exists.
             base = WeightedScheme().generate(reference, theta, phi, index)

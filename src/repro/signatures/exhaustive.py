@@ -56,6 +56,7 @@ class ExhaustiveScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Branch-and-bound over token subsets; greedy beyond the cap."""
         weights = weights_for(reference, phi)
         ranked, occurrences = rank_tokens(reference, index, weights)
         if len(ranked) > self.max_tokens:
@@ -174,6 +175,7 @@ class RandomScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Randomised selection until the residual bound certifies."""
         weights = weights_for(reference, phi)
         ranked, occurrences = rank_tokens(reference, index, weights)
         if not ranked:

@@ -29,6 +29,7 @@ class SimThreshScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Per-element alpha budgets, or None when an element falls short."""
         if phi.alpha <= 0.0:
             # Without a similarity threshold every token of every element
             # would be required; there is no useful sim-thresh signature.

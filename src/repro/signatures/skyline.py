@@ -33,6 +33,7 @@ class SkylineScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Weighted signature post-trimmed to the sim-thresh budgets."""
         base = self._weighted.generate(reference, theta, phi, index)
         if base is None:
             return None

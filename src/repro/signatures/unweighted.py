@@ -40,6 +40,13 @@ class UnweightedScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Drop the ``ceil(theta) - 1`` costliest token occurrences.
+
+        Validity of the removal argument for the edit kinds requires
+        the planner's no-share-cap precondition
+        (:mod:`repro.planner.validity`); out of that regime the engine
+        never runs this scheme -- it full-scans instead.
+        """
         weights = weights_for(reference, phi)
         occurrences: dict[int, list[int]] = defaultdict(list)
         for i, element in enumerate(reference.elements):

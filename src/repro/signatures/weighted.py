@@ -65,6 +65,7 @@ class WeightedScheme(SignatureScheme):
         phi: SimilarityFunction,
         index: InvertedIndex,
     ) -> Signature | None:
+        """Greedy cost/value token selection until ``residual < theta``."""
         weights = weights_for(reference, phi)
         ranked, occurrences = rank_tokens(reference, index, weights)
 

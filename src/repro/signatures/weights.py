@@ -98,6 +98,7 @@ class ElementWeights:
     def for_element(
         cls, element: ElementRecord, phi: SimilarityFunction
     ) -> "ElementWeights":
+        """Derive the weights of one reference element under *phi*."""
         kind = phi.kind
         length = element.length
         n_tokens = len(element.signature_tokens)

@@ -76,6 +76,19 @@ class Workload:
         """A copy with configuration fields replaced."""
         return replace(self, config=replace(self.config, **overrides))
 
+    def planner_decision(self):
+        """The planner's decision for this workload's data + config.
+
+        Builds the collection and index (the expensive part -- the
+        planning itself is microseconds, see
+        ``benchmarks/test_planner_overhead.py``) and returns the
+        :class:`~repro.planner.PlannerDecision` an engine over this
+        workload would run with.
+        """
+        from repro.core.engine import SilkMoth
+
+        return SilkMoth(self.collection(), self.config).decision
+
 
 def string_matching(
     n_sets: int = 400,

@@ -19,9 +19,10 @@ from repro.sim.functions import SimilarityKind
 #: A tiny vocabulary, so generated sets actually overlap.
 WORDS = ("ash", "bay", "elm", "fir", "ivy", "oak", "sky", "yew")
 
-#: The paper's practical signature schemes (Sections 4 and 6).  The
-#: ``exhaustive`` and ``random`` registry entries are test oracles, not
-#: schemes anyone deploys, and are exponential/randomised respectively.
+#: The paper's practical signature schemes (Sections 4 and 6) plus the
+#: planner's ``auto`` selection.  The ``exhaustive`` and ``random``
+#: registry entries are test oracles, not schemes anyone deploys, and
+#: are exponential/randomised respectively.
 SCHEMES = (
     "weighted",
     "unweighted",
@@ -29,7 +30,15 @@ SCHEMES = (
     "sim_thresh",
     "skyline",
     "dichotomy",
+    "auto",
 )
+
+#: Gram lengths the edit-kind strategy sweeps: the evaluation's rule
+#: (None) plus pinned values on both sides of the
+#: ``q < alpha / (1 - alpha)`` constraint.  Out-of-constraint values
+#: are *deliberately* included -- the query planner must keep them
+#: exact via the full-scan fallback (the pre-planner latent bug).
+EDIT_QS = (None, 1, 2, 3, 5)
 
 TOKEN_KINDS = (
     SimilarityKind.JACCARD,
@@ -78,20 +87,23 @@ def token_configs(**overrides) -> st.SearchStrategy[SilkMothConfig]:
 
 
 def edit_configs(**overrides) -> st.SearchStrategy[SilkMothConfig]:
-    """Configurations for the edit-based kinds (alpha > 0).
+    """Configurations for the edit-based kinds, with ``q`` unrestricted.
 
     ``q=None`` applies the evaluation's ``q < alpha / (1 - alpha)``
-    rule (Section 8.1).  Out-of-constraint q values are excluded: the
-    signature schemes are only proven valid under the constraint (a
-    known, pre-existing limitation recorded in ROADMAP.md).
+    rule (Section 8.1); the pinned values sweep both sides of the
+    constraint.  Exactness for out-of-constraint combinations is the
+    query planner's job: it routes configurations whose scheme cannot
+    certify Lemma 1 through the exact full-scan fallback
+    (:mod:`repro.planner.validity`), so *every* generated configuration
+    must match brute force.
     """
     return st.builds(
         SilkMothConfig,
         metric=st.sampled_from(tuple(Relatedness)),
         similarity=st.sampled_from(EDIT_KINDS),
         delta=st.sampled_from((0.4, 0.7)),
-        alpha=st.sampled_from((0.6, 0.8)),
-        q=st.just(None),
+        alpha=st.sampled_from((0.0, 0.35, 0.6, 0.8)),
+        q=st.sampled_from(EDIT_QS),
         scheme=st.sampled_from(SCHEMES),
         check_filter=st.booleans(),
         nn_filter=st.booleans(),

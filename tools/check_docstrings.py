@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Docstring coverage gate (an `interrogate` equivalent, zero deps).
+
+Walks ``src/repro`` with :mod:`ast` and requires a docstring on every
+module, every class, and every public function/method. "Public" means
+the name has no leading underscore; ``__init__`` and other dunders are
+exempt (their contract is the class docstring), as are nested
+functions (closures are implementation detail) and trivial overrides
+consisting solely of ``pass``/``...``.
+
+Exit status 0 when coverage meets ``--fail-under`` (default 100),
+1 otherwise, listing every undocumented object. Run from anywhere:
+
+    python tools/check_docstrings.py [--fail-under 100] [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = [REPO_ROOT / "src" / "repro"]
+
+
+def _is_trivial(node: ast.AST) -> bool:
+    """A body of only ``pass`` / ``...`` needs no docstring."""
+    body = getattr(node, "body", [])
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue
+        return False
+    return True
+
+
+def _check_file(path: Path) -> tuple[int, int, list[str]]:
+    """Returns (documented, total, missing descriptions) for one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented = 0
+    total = 1  # the module itself
+    missing: list[str] = []
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append(f"{path}:1 module")
+
+    def visit(node: ast.AST) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            is_def = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if isinstance(child, ast.ClassDef) or is_def:
+                if child.name.startswith("_"):
+                    continue
+                if is_def and _is_trivial(child):
+                    continue
+                total += 1
+                if ast.get_docstring(child):
+                    documented += 1
+                else:
+                    kind = "def" if is_def else "class"
+                    missing.append(f"{path}:{child.lineno} {kind} {child.name}")
+                if is_def:
+                    continue  # closures inside functions are exempt
+            visit(child)
+
+    visit(tree)
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=100.0,
+        help="minimum coverage percentage (default: 100)",
+    )
+    args = parser.parse_args(argv)
+    roots = [p.resolve() for p in (args.paths or DEFAULT_PATHS)]
+
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+
+    documented = total = 0
+    missing: list[str] = []
+    for path in files:
+        got, all_, gaps = _check_file(path)
+        documented += got
+        total += all_
+        missing.extend(gaps)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+        f"(gate: {args.fail_under:g}%)"
+    )
+    if coverage < args.fail_under:
+        print(f"\n{len(missing)} undocumented object(s):", file=sys.stderr)
+        for line in missing:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

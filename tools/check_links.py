@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Cross-reference checker for README.md and docs/ (zero deps).
+
+Verifies that every relative Markdown link target —
+``[text](path)`` / ``[text](path#anchor)`` — resolves to an existing
+file or directory, and that ``#anchor`` fragments pointing into a
+Markdown file match one of its headings (GitHub slug rules,
+simplified). External (``http``/``https``/``mailto``) links are not
+fetched.
+
+Exit status 0 when every link resolves, 1 otherwise, listing the
+broken ones. Run from anywhere:
+
+    python tools/check_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured without surrounding whitespace;
+#: images (``![...]``) share the syntax and are checked identically.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+
+
+def default_files() -> list[Path]:
+    """README.md plus every Markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for *heading* (simplified, ASCII-ish)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a Markdown file exposes."""
+    return {
+        github_slug(match) for match in HEADING_RE.findall(path.read_text())
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems: list[str] = []
+    text = path.read_text()
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, fragment = target.partition("#")
+        if not raw:
+            # Pure in-page anchor.
+            if fragment and github_slug(fragment) not in anchors_of(path):
+                problems.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: broken anchor {raw}#{fragment}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    files = [Path(a).resolve() for a in args] or default_files()
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        checked += 1
+        problems.extend(check_file(path))
+    print(f"link check: {checked} file(s), {len(problems)} broken link(s)")
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
