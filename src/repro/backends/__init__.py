@@ -16,7 +16,12 @@ Selection order (first hit wins):
 2. the ``SILKMOTH_BACKEND`` environment variable,
 3. auto: ``numpy`` when importable, else ``python``.
 
-Backends are stateless, so instances are cached per name.
+Instances are cached per name, and that singleton identity is
+load-bearing: the numpy backend owns per-collection packed-token
+stores (released by the service on compaction through the same
+instance) plus process-wide kernel-dispatch knobs (``packed_enabled``,
+``packed_min_pairs``, ``packed_min_cells``).  Results never depend on
+any of that state -- only which (equally exact) kernel runs.
 """
 
 from __future__ import annotations

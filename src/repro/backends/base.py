@@ -19,8 +19,9 @@ import abc
 from collections import defaultdict
 from typing import Callable, Iterator, Sequence
 
-from repro.core.records import SetRecord
+from repro.core.records import SetCollection, SetRecord
 from repro.sim.functions import SimilarityFunction
+from repro.sim.memo import SimilarityMemo
 
 
 def iter_token_pairs(
@@ -48,11 +49,15 @@ def fill_weight_matrix(
     candidate: SetRecord,
     phi: SimilarityFunction,
     set_entry: Callable[[int, int, float], None],
+    memo: SimilarityMemo | None = None,
 ) -> None:
     """Write every non-zero ``phi_alpha`` weight through *set_entry*.
 
     Shared by all backends so the sparsity logic (token-sharing pairs
-    under token kinds, banded Levenshtein under edit kinds) exists once.
+    under token kinds, banded Levenshtein under edit kinds) exists
+    once.  *memo* serves edit-kind pairs from the cross-stage
+    similarity cache -- most verification pairs were already scored by
+    the check or NN filter.
     """
     if phi.kind.is_token_based:
         # Two elements without a common token score 0 -- except the
@@ -72,9 +77,12 @@ def fill_weight_matrix(
                     set_entry(i, j, empty_weight)
         return
     banded = phi.alpha > 0.0
+    memoized = memo is not None and memo.enabled
     for i, r in enumerate(reference.elements):
         for j, s in enumerate(candidate.elements):
-            if banded:
+            if memoized:
+                weight = memo.edit_value(phi, r.text, s.text)
+            elif banded:
                 # The banded Levenshtein bails out as soon as a pair
                 # provably scores below alpha (thresholded weight 0).
                 weight = phi.edit_at_least(r.text, s.text, 0.0)
@@ -130,14 +138,58 @@ class ComputeBackend(abc.ABC):
         :meth:`repro.sim.functions.SimilarityFunction.tokens` per entry.
         """
 
+    def indexed_token_similarities(
+        self,
+        probe: frozenset[int],
+        collection: SetCollection,
+        pairs: Sequence[tuple[int, int]],
+        phi: SimilarityFunction,
+    ) -> list[float]:
+        """``phi_alpha(probe, element)`` per ``(set_id, element_index)`` pair.
+
+        Same semantics as :meth:`token_similarities` with the targets
+        addressed through *collection* -- which lets a backend
+        substitute a precomputed packed representation for the
+        elements' token sets (the numpy backend does; this default
+        simply gathers the frozensets).
+        """
+        return self.token_similarities(
+            probe,
+            [
+                collection[set_id].elements[j].index_tokens
+                for set_id, j in pairs
+            ],
+            phi,
+        )
+
     # ------------------------------------------------------------------
     # Verification kernels
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def weight_matrix(
-        self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
+        self,
+        reference: SetRecord,
+        candidate: SetRecord,
+        phi: SimilarityFunction,
+        memo: SimilarityMemo | None = None,
+        collection: SetCollection | None = None,
     ):
-        """Pairwise ``phi_alpha`` weight matrix (backend-opaque type)."""
+        """Pairwise ``phi_alpha`` weight matrix (backend-opaque type).
+
+        *memo* (edit kinds) serves already-scored pairs from the
+        cross-stage similarity cache; *collection* (token kinds) lets a
+        backend use precomputed packed token arrays when *candidate*
+        is one of its live records.
+        """
+
+    def release_packed_sets(self, collection: SetCollection, set_ids) -> None:
+        """Drop any precomputed per-set state for *set_ids*.
+
+        Called by owners that physically compact tombstoned sets away
+        (e.g. the service's index compaction), so backend-side caches
+        cannot grow with lifetime mutations.  No-op for backends
+        without per-set state.
+        """
 
     @abc.abstractmethod
     def assignment_score(self, matrix) -> float:

@@ -1,0 +1,114 @@
+"""Packed int-token arrays for the numpy backend's similarity kernels.
+
+The numpy backend's batched token-similarity kernels used to rebuild
+Python ``frozenset`` intersections per call -- per candidate element,
+per query.  A :class:`PackedTokenStore` instead packs every element's
+distinct token ids into an ``int64`` array *once per set* (on the
+set's first appearance in a batch; records are immutable per set id,
+so the packed form is valid for the collection's lifetime) and the
+kernels then compute intersection sizes with one C-level membership
+scan over the concatenated batch:
+
+1. concatenate the selected elements' token arrays,
+2. ``np.isin`` against the (sorted) probe tokens,
+3. per-element counts via a cumulative-sum difference (robust to
+   empty elements, unlike ``np.add.reduceat``).
+
+Stores are keyed weakly by collection on the backend instance, so a
+dropped collection releases its packed arrays.  Tombstoned sets keep
+their (already-built) entries -- set ids are never reused, so entries
+can never go stale, only unused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import SetCollection
+
+
+class PackedTokenStore:
+    """Per-set packed ``index_tokens`` arrays for one collection.
+
+    One store serves one :class:`~repro.core.records.SetCollection`;
+    the numpy backend keeps a weak mapping from collections to stores.
+    """
+
+    def __init__(self) -> None:
+        #: set_id -> (per-element int64 token arrays, per-element sizes).
+        self._sets: dict = {}
+
+    def drop_sets(self, set_ids) -> None:
+        """Release the packed arrays of *set_ids* (tombstoned sets).
+
+        Set ids are never reused, so a dropped entry can only be
+        rebuilt if the (dead) set is somehow queried again -- which
+        candidate selection prevents; this keeps a long-lived mutating
+        service's packed memory proportional to its *live* sets.
+
+        Callers may pass their full lifetime tombstone set: the
+        intersection below bounds the work by the entries actually
+        packed, not by lifetime removals.
+        """
+        for set_id in self._sets.keys() & set_ids:
+            del self._sets[set_id]
+
+    def element_arrays(
+        self, collection: SetCollection, set_id: int
+    ) -> tuple:
+        """``(arrays, sizes)`` for the elements of set *set_id*.
+
+        ``arrays[j]`` holds element j's distinct token ids (unsorted --
+        only membership is ever tested against them) and ``sizes[j]``
+        its token count as ``float64`` (the similarity formulas consume
+        sizes as floats).  Packed on first request, cached after.
+        """
+        entry = self._sets.get(set_id)
+        if entry is None:
+            elements = collection[set_id].elements
+            arrays = [
+                np.fromiter(e.index_tokens, dtype=np.int64, count=len(e.index_tokens))
+                for e in elements
+            ]
+            sizes = np.array([a.size for a in arrays], dtype=np.float64)
+            entry = (arrays, sizes)
+            self._sets[set_id] = entry
+        return entry
+
+
+def probe_array(tokens) -> np.ndarray:
+    """Pack one probe's token-id collection as a sorted int64 array.
+
+    Sorted so ``np.isin`` can binary-search it (``kind="sort"``-style
+    lookup) instead of re-sorting per call.
+    """
+    array = np.fromiter(tokens, dtype=np.int64, count=len(tokens))
+    array.sort()
+    return array
+
+
+def intersection_counts(
+    arrays: list, sizes: np.ndarray, probe: np.ndarray
+) -> np.ndarray:
+    """``|arrays[k] & probe|`` for every packed element array.
+
+    One concatenate + one membership scan + one cumulative-sum
+    difference; each array holds distinct ids, so membership hits
+    count the intersection exactly.
+    """
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    concat = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+    if concat.size == 0 or probe.size == 0:
+        return np.zeros(len(arrays), dtype=np.float64)
+    # Membership via binary search on the sorted probe (measurably
+    # cheaper than np.isin, which re-derives the sort per call).
+    positions = np.searchsorted(probe, concat)
+    np.minimum(positions, probe.size - 1, out=positions)
+    member = probe[positions] == concat
+    cumulative = np.concatenate(
+        ([0], np.cumsum(member, dtype=np.int64))
+    )
+    ends = np.cumsum(sizes.astype(np.int64))
+    starts = ends - sizes.astype(np.int64)
+    return (cumulative[ends] - cumulative[starts]).astype(np.float64)

@@ -49,15 +49,24 @@ class PythonBackend(ComputeBackend):
 
     # -- verification kernels ------------------------------------------
     def weight_matrix(
-        self, reference: SetRecord, candidate: SetRecord, phi: SimilarityFunction
+        self,
+        reference: SetRecord,
+        candidate: SetRecord,
+        phi: SimilarityFunction,
+        memo=None,
+        collection=None,
     ) -> list[list[float]]:
-        """Dense list-of-lists weight matrix (sparse fill, zeros elsewhere)."""
+        """Dense list-of-lists weight matrix (sparse fill, zeros elsewhere).
+
+        *collection* is accepted for interface parity and unused: the
+        scalar fill already runs on the shared frozenset views.
+        """
         matrix = [[0.0] * len(candidate) for _ in range(len(reference))]
 
         def set_entry(i: int, j: int, weight: float) -> None:
             matrix[i][j] = weight
 
-        fill_weight_matrix(reference, candidate, phi, set_entry)
+        fill_weight_matrix(reference, candidate, phi, set_entry, memo=memo)
         return matrix
 
     def assignment_score(self, matrix: list[list[float]]) -> float:

@@ -1,0 +1,303 @@
+"""The perf-trajectory harness: pinned workloads, tracked speedups.
+
+Every optimisation PR claims a speedup; this module turns the claim
+into a *series*.  :func:`run_trajectory` executes two pinned,
+deterministic workloads -- a verification-heavy edit-similarity search
+and a token-based discovery -- twice each:
+
+``baseline``
+    The classic dynamic-program edit kernel
+    (``SILKMOTH_EDIT_KERNEL=dp`` semantics) with the element-pair
+    similarity memo disabled: the similarity hot path as it existed
+    before the kernel overhaul.
+``optimized``
+    The bit-parallel Myers kernel with the cross-stage memo enabled --
+    the shipping configuration.
+
+The result (written as ``BENCH_<tag>.json``) records wall-clock per
+mode, the speedup, the funnel counters, the memo hit rate, and a
+per-backend ``calibration`` section the query planner's cost model can
+consume instead of its fixed constants (see
+:func:`repro.planner.cost.load_measured_costs`).  Committing one file
+per PR turns "faster" into a reviewable trajectory.
+
+Data generation is fully seeded and the harness never reads the clock
+outside ``perf_counter`` spans, so two runs on the same machine are
+comparable; runs on different machines are comparable *within* the
+file (speedups, hit rates), not across files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.backends import available_backends, get_backend
+from repro.core.config import SilkMothConfig
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+from repro.sim.levenshtein import use_kernel
+from repro.sim.memo import DEFAULT_SIM_CACHE_SIZE
+
+#: Output schema identifier (bump on incompatible layout changes).
+SCHEMA = "silkmoth-perf-trajectory/1"
+
+#: Alphabet the synthetic element strings draw from.
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz "
+
+
+def _perturbed(rng: random.Random, text: str, edits: int) -> str:
+    """*text* with *edits* random character edits applied (seeded)."""
+    chars = list(text)
+    for _ in range(edits):
+        op = rng.randrange(3)
+        if op == 0 and chars:  # substitute
+            chars[rng.randrange(len(chars))] = rng.choice(_ALPHABET)
+        elif op == 1:  # insert
+            chars.insert(rng.randrange(len(chars) + 1), rng.choice(_ALPHABET))
+        elif chars:  # delete
+            del chars[rng.randrange(len(chars))]
+    return "".join(chars)
+
+
+def edit_workload(scale: float = 1.0) -> tuple[list[list[str]], SilkMothConfig]:
+    """The pinned verification-heavy edit-similarity workload.
+
+    Clusters of sets share perturbed copies of the same base strings,
+    so most candidates survive the filters and the cost concentrates
+    in banded-Levenshtein calls across the check / NN / verify stages
+    -- the hot path the kernel overhaul targets.
+    """
+    rng = random.Random(20170901)
+    clusters = max(2, int(24 * scale))
+    sets_per_cluster = 3
+    elements_per_set = 6
+    sets: list[list[str]] = []
+    for _ in range(clusters):
+        base = [
+            "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(18, 34)))
+            for _ in range(elements_per_set)
+        ]
+        for _ in range(sets_per_cluster):
+            sets.append([_perturbed(rng, text, rng.randint(0, 3)) for text in base])
+    config = SilkMothConfig(
+        similarity=SimilarityKind.EDS,
+        delta=0.5,
+        alpha=0.6,
+    )
+    return sets, config
+
+
+def token_workload(scale: float = 1.0) -> tuple[list[list[str]], SilkMothConfig]:
+    """The pinned token-similarity (Jaccard) discovery workload.
+
+    Guards the no-regression side of the trajectory.  On the numpy
+    backend the baseline runs the frozenset token kernels and the
+    optimized run the packed-array kernels, so a packed-path slowdown
+    would show as a sub-1.0 speedup; on the pure-Python backend both
+    modes run the same (unchanged) token path and the entry is a
+    stability guard against regressions from the surrounding plumbing.
+    """
+    rng = random.Random(20170902)
+    vocabulary = [f"w{i}" for i in range(int(120 * scale) + 40)]
+    clusters = max(3, int(20 * scale))
+    sets = []
+    for _ in range(clusters):
+        base = []
+        for _ in range(rng.randint(5, 8)):
+            size = rng.randint(2, 6)
+            base.append(rng.sample(vocabulary, size))
+        # Three variants per cluster: drop/replace the odd token so the
+        # pairs land near the threshold and reach verification.
+        for _ in range(3):
+            elements = []
+            for tokens in base:
+                mutated = list(tokens)
+                if len(mutated) > 2 and rng.random() < 0.5:
+                    mutated[rng.randrange(len(mutated))] = rng.choice(vocabulary)
+                elements.append(" ".join(mutated))
+            sets.append(elements)
+    config = SilkMothConfig(
+        similarity=SimilarityKind.JACCARD,
+        delta=0.5,
+    )
+    return sets, config
+
+
+def _time_search(
+    sets: list[list[str]],
+    config: SilkMothConfig,
+    backend: str,
+    optimized: bool,
+    repeats: int = 2,
+) -> dict:
+    """Run every-reference search under one mode; returns measurements.
+
+    *optimized* selects the shipping configuration (Myers kernel,
+    pair memo, packed token arrays); the baseline forces every
+    pre-overhaul path: the classic DP kernel, the memo disabled, and
+    -- on backends that have one, i.e. numpy -- the frozenset token
+    kernels instead of the packed arrays.  Index build is excluded
+    (paper Section 8.2 convention for SEARCH).  The run executes
+    *repeats* times on fresh engines, keeping the best wall clock
+    (standard noise suppression) and the first run's counters (they
+    are deterministic across repeats).
+    """
+    # Both modes pin the memo size explicitly: None would defer to the
+    # SILKMOTH_SIM_CACHE environment variable, letting an inherited
+    # env value silently change what "optimized" means.
+    mode_config = replace(
+        config,
+        backend=backend,
+        sim_cache_size=DEFAULT_SIM_CACHE_SIZE if optimized else 0,
+    )
+    collection = SetCollection.from_strings(
+        sets, kind=mode_config.similarity, q=mode_config.effective_q
+    )
+    backend_instance = get_backend(backend)
+    packed_before = getattr(backend_instance, "packed_enabled", None)
+    if packed_before is not None:
+        backend_instance.packed_enabled = optimized
+    previous = use_kernel("auto" if optimized else "dp")
+    try:
+        elapsed = float("inf")
+        stats = None
+        matches = 0
+        for _ in range(max(1, repeats)):
+            engine = SilkMoth(collection, mode_config)
+            started = time.perf_counter()
+            matches = 0
+            for record in collection.iter_live():
+                matches += len(engine.search(record, skip_set=record.set_id))
+            elapsed = min(elapsed, time.perf_counter() - started)
+            if stats is None:
+                stats = engine.stats
+    finally:
+        use_kernel(previous)
+        if packed_before is not None:
+            backend_instance.packed_enabled = packed_before
+    lookups = stats.sim_cache_hits + stats.sim_cache_misses
+    return {
+        "seconds": elapsed,
+        "matches": matches,
+        "verified": stats.verified,
+        "initial_candidates": stats.initial_candidates,
+        "sim_cache_hits": stats.sim_cache_hits,
+        "sim_cache_misses": stats.sim_cache_misses,
+        "sim_cache_hit_rate": round(stats.sim_cache_hits / lookups, 4)
+        if lookups
+        else 0.0,
+        "stage_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(stats.stage_seconds.items())
+        },
+    }
+
+
+def _workload_entry(
+    sets: list[list[str]],
+    config: SilkMothConfig,
+    backend: str,
+    repeats: int = 2,
+) -> dict:
+    """Baseline-vs-optimized measurements for one (workload, backend)."""
+    baseline = _time_search(sets, config, backend, optimized=False, repeats=repeats)
+    optimized = _time_search(sets, config, backend, optimized=True, repeats=repeats)
+    speedup = (
+        baseline["seconds"] / optimized["seconds"]
+        if optimized["seconds"] > 0
+        else float("inf")
+    )
+    return {
+        "backend": backend,
+        "baseline": baseline,
+        "optimized": optimized,
+        "speedup": round(speedup, 3),
+    }
+
+
+def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
+    """Execute the pinned workloads and assemble the trajectory payload.
+
+    *backends* names exactly which backends run; the default (empty)
+    is every available backend.  An explicit selection is honoured as
+    given -- timing only the numpy backend is a valid use.  The
+    ``calibration`` section summarises optimized wall-clock per
+    backend for the planner's measured cost model (it needs at least
+    two backends to carry comparative signal).
+    """
+    if not backends:
+        backends = available_backends()
+    edit_sets, edit_config = edit_workload(scale)
+    token_sets, token_config = token_workload(scale)
+    workloads: dict = {}
+    calibration_backends: dict = {}
+    for backend in backends:
+        edit_entry = _workload_entry(edit_sets, edit_config, backend)
+        # The token workload is two orders of magnitude cheaper, so it
+        # takes more repeats to push best-of-N noise below the
+        # regression signal it guards.
+        token_entry = _workload_entry(
+            token_sets, token_config, backend, repeats=7
+        )
+        suffix = "" if backend == "python" else f"_{backend}"
+        workloads[f"edit_verify{suffix}"] = edit_entry
+        workloads[f"token_discover{suffix}"] = token_entry
+        calibration_backends[backend] = {
+            "seconds": round(
+                edit_entry["optimized"]["seconds"]
+                + token_entry["optimized"]["seconds"],
+                6,
+            ),
+            "stage_seconds": _merge_stage_seconds(
+                edit_entry["optimized"]["stage_seconds"],
+                token_entry["optimized"]["stage_seconds"],
+            ),
+        }
+    return {
+        "schema": SCHEMA,
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "scale": scale,
+        "workloads": workloads,
+        "calibration": {
+            "workloads": ["edit_verify", "token_discover"],
+            "backends": calibration_backends,
+        },
+    }
+
+
+def _merge_stage_seconds(*timings: dict) -> dict:
+    """Sum per-stage second maps (used for the calibration summary)."""
+    merged: dict = {}
+    for timing in timings:
+        for name, seconds in timing.items():
+            merged[name] = round(merged.get(name, 0.0) + seconds, 6)
+    return merged
+
+
+def write_trajectory(path, scale: float = 1.0, backends: tuple = ()) -> dict:
+    """Run :func:`run_trajectory` and write the payload to *path* as JSON."""
+    payload = run_trajectory(scale=scale, backends=backends)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def format_trajectory(payload: dict) -> str:
+    """One-line-per-workload human summary of a trajectory payload."""
+    lines = []
+    for name, entry in sorted(payload["workloads"].items()):
+        optimized = entry["optimized"]
+        lines.append(
+            f"{name:24s} [{entry['backend']}] "
+            f"baseline {entry['baseline']['seconds']:.3f}s -> "
+            f"optimized {optimized['seconds']:.3f}s "
+            f"({entry['speedup']:.2f}x); "
+            f"verified {optimized['verified']}, "
+            f"memo hit rate {optimized['sim_cache_hit_rate']:.0%}"
+        )
+    return "\n".join(lines)

@@ -59,6 +59,12 @@ class SilkMothConfig:
         defers to the ``SILKMOTH_BACKEND`` environment variable and
         then auto-selects (numpy when installed).  The backend affects
         speed only, never results.
+    sim_cache_size:
+        Capacity (in element pairs) of the cross-stage similarity memo
+        (:mod:`repro.sim.memo`) used under the edit kinds.  ``None``
+        defers to the ``SILKMOTH_SIM_CACHE`` environment variable and
+        then the default (65536 pairs); ``0`` disables memoization.
+        Affects speed only, never results.
     """
 
     metric: Relatedness = Relatedness.SIMILARITY
@@ -72,6 +78,7 @@ class SilkMothConfig:
     reduction: bool = True
     size_filter: bool = True
     backend: str | None = None
+    sim_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.delta <= 1.0:
@@ -89,6 +96,10 @@ class SilkMothConfig:
             raise ValueError(
                 f"backend must be one of {KNOWN_BACKENDS} or None, "
                 f"got {self.backend!r}"
+            )
+        if self.sim_cache_size is not None and self.sim_cache_size < 0:
+            raise ValueError(
+                f"sim_cache_size must be >= 0 or None, got {self.sim_cache_size}"
             )
 
     @property

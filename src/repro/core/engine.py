@@ -42,6 +42,7 @@ from repro.pipeline.plan import QueryPlan
 from repro.planner.planner import PlannerDecision, plan_query
 from repro.planner.report import format_decision
 from repro.signatures import get_scheme
+from repro.sim.memo import SimilarityMemo, resolve_sim_cache_size
 
 
 class SilkMoth:
@@ -85,6 +86,15 @@ class SilkMoth:
         self.decision: PlannerDecision = plan_query(config, self.index)
         self.scheme = get_scheme(self.decision.scheme)
         self.backend = get_backend(self.decision.backend)
+        #: Cross-stage element-pair similarity memo (edit kinds only):
+        #: shared by every pass this engine runs, so exact phi values
+        #: computed by the check/NN filters are reused by verification
+        #: and by later queries.  ``None`` for the token kinds.
+        self.memo: SimilarityMemo | None = (
+            SimilarityMemo(resolve_sim_cache_size(config.sim_cache_size))
+            if config.similarity.is_edit_based
+            else None
+        )
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -126,6 +136,7 @@ class SilkMoth:
             backend=self.backend,
             skip_set=skip_set,
             decision=self.decision,
+            memo=self.memo,
         )
 
     def replan(self) -> PlannerDecision:

@@ -32,6 +32,11 @@ class PassStats:
     #: exact full-scan fallback (invalid signature parameters); a plain
     #: scheme-returned-None full scan leaves this "".
     fallback_reason: str = ""
+    #: Element-pair similarity memo lookups this pass served from /
+    #: missed in the cross-stage cache (:mod:`repro.sim.memo`); both
+    #: stay 0 when the memo is disabled or the kind is token-based.
+    sim_cache_hits: int = 0
+    sim_cache_misses: int = 0
     #: Wall-clock seconds per stage, keyed by stage name
     #: ("signature", "select", "check", "nn", "verify").
     stage_seconds: dict = field(default_factory=dict)
@@ -52,6 +57,8 @@ class RunStats:
     after_nn: int = 0
     verified: int = 0
     matches: int = 0
+    sim_cache_hits: int = 0
+    sim_cache_misses: int = 0
     stage_seconds: dict = field(default_factory=dict)
     per_pass: list = field(default_factory=list, repr=False)
 
@@ -66,6 +73,8 @@ class RunStats:
         self.after_nn += stats.after_nn
         self.verified += stats.verified
         self.matches += stats.matches
+        self.sim_cache_hits += stats.sim_cache_hits
+        self.sim_cache_misses += stats.sim_cache_misses
         for name, seconds in stats.stage_seconds.items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
         self.per_pass.append(stats)

@@ -27,6 +27,7 @@ from repro.backends.base import ComputeBackend
 from repro.core.records import SetCollection, SetRecord
 from repro.index.inverted import InvertedIndex
 from repro.sim.functions import SimilarityFunction
+from repro.sim.memo import SimilarityMemo
 from repro.signatures.base import Signature
 
 
@@ -65,6 +66,7 @@ def select_and_check(
     size_range: tuple[float, float] | None = None,
     skip_set: int | None = None,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
 ) -> list[CandidateInfo]:
     """Algorithm 1: probe the index with the signature and check-filter.
 
@@ -82,6 +84,9 @@ def select_and_check(
     backend:
         Compute backend for the batched similarity evaluation; ``None``
         resolves the process default.
+    memo:
+        Cross-stage similarity memo for the edit kinds (``None``
+        computes every pair).
 
     Returns
     -------
@@ -135,14 +140,16 @@ def select_and_check(
         if not pairs:
             continue
         if token_based:
-            scores = backend.token_similarities(
-                probe.index_tokens,
-                [
-                    collection[set_id].elements[j].index_tokens
-                    for set_id, j in pairs
-                ],
-                phi,
+            scores = backend.indexed_token_similarities(
+                probe.index_tokens, collection, pairs, phi
             )
+        elif memo is not None and memo.enabled:
+            scores = [
+                memo.edit_value(
+                    phi, probe.text, collection[set_id].elements[j].text, bound_i
+                )
+                for set_id, j in pairs
+            ]
         else:
             # *bound_i* lets the banded Levenshtein bail out early when
             # the score cannot beat the signature bound anyway.

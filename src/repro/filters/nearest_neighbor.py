@@ -31,6 +31,7 @@ from repro.core.records import ElementRecord, SetCollection, SetRecord
 from repro.filters.check import CandidateInfo
 from repro.index.inverted import InvertedIndex
 from repro.sim.functions import SimilarityFunction
+from repro.sim.memo import SimilarityMemo
 
 
 def _no_share_cap(element: ElementRecord, phi: SimilarityFunction, q: int) -> float:
@@ -52,6 +53,7 @@ def nn_search(
     collection: SetCollection,
     floor: float = 0.0,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
 ) -> float:
     """Exact NN similarity of *element* within set *set_id* via the index.
 
@@ -81,22 +83,29 @@ def nn_search(
             seen.update(index.elements_in_set(token, set_id))
         if not seen:
             return best
-        scores = backend.token_similarities(
+        scores = backend.indexed_token_similarities(
             element.index_tokens,
-            [candidate_record.elements[j].index_tokens for j in sorted(seen)],
+            collection,
+            [(set_id, j) for j in sorted(seen)],
             phi,
         )
         top = max(scores)
         return top if top > best else best
     seen_edit: set[int] = set()
+    memoized = memo is not None and memo.enabled
     for token in element.index_tokens:
         for j in index.elements_in_set(token, set_id):
             if j in seen_edit:
                 continue
             seen_edit.add(j)
-            score = phi.edit_at_least(
-                element.text, candidate_record.elements[j].text, best
-            )
+            if memoized:
+                score = memo.edit_value(
+                    phi, element.text, candidate_record.elements[j].text, best
+                )
+            else:
+                score = phi.edit_at_least(
+                    element.text, candidate_record.elements[j].text, best
+                )
             if score > best:
                 best = score
     return best
@@ -113,6 +122,7 @@ def nn_filter_columns(
     collection: SetCollection,
     q: int = 1,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
 ) -> tuple[list[int], list[float]]:
     """Algorithm 2 over a columnar candidate batch.
 
@@ -166,6 +176,7 @@ def nn_filter_columns(
                 phi,
                 collection,
                 backend=backend,
+                memo=memo,
             )
             nn = max(nn, caps[i])
             total += nn - max(bounds[i], caps[i])

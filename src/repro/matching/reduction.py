@@ -21,6 +21,7 @@ from repro.backends.base import ComputeBackend
 from repro.core.records import ElementRecord, SetRecord
 from repro.matching.score import build_weight_matrix
 from repro.sim.functions import SimilarityFunction, SimilarityKind
+from repro.sim.memo import SimilarityMemo
 
 
 def _element_key(element: ElementRecord, kind: SimilarityKind):
@@ -39,6 +40,8 @@ def reduced_matching_score(
     candidate: SetRecord,
     phi: SimilarityFunction,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
+    collection=None,
 ) -> float:
     """Maximum matching score computed with the identical-element reduction.
 
@@ -87,7 +90,15 @@ def reduced_matching_score(
     )
     if backend is None:
         backend = get_backend()
+    # The residual candidate is a fresh record, never the collection's
+    # own (the packed-array fast path correctly ignores it), but the
+    # threading keeps the call sites uniform.
     weights = build_weight_matrix(
-        residual_reference, residual_candidate, phi, backend=backend
+        residual_reference,
+        residual_candidate,
+        phi,
+        backend=backend,
+        memo=memo,
+        collection=collection,
     )
     return float(matched) + backend.assignment_score(weights)

@@ -16,6 +16,7 @@ from repro.backends import get_backend
 from repro.backends.base import ComputeBackend
 from repro.core.records import SetRecord
 from repro.sim.functions import SimilarityFunction
+from repro.sim.memo import SimilarityMemo
 
 
 def build_weight_matrix(
@@ -23,16 +24,23 @@ def build_weight_matrix(
     candidate: SetRecord,
     phi: SimilarityFunction,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
+    collection=None,
 ):
     """Pairwise ``phi_alpha`` weights between the elements of two sets.
 
     The matrix type is backend-specific (ndarray under numpy, lists of
     lists under pure Python); read entries through
     ``backend.matrix_entry`` when backend-neutral access is needed.
+    *memo* serves edit-kind pairs from the cross-stage cache;
+    *collection* lets backends use packed token arrays when *candidate*
+    is one of its live records.
     """
     if backend is None:
         backend = get_backend()
-    return backend.weight_matrix(reference, candidate, phi)
+    return backend.weight_matrix(
+        reference, candidate, phi, memo=memo, collection=collection
+    )
 
 
 def matching_score(
@@ -40,6 +48,8 @@ def matching_score(
     candidate: SetRecord,
     phi: SimilarityFunction,
     backend: ComputeBackend | None = None,
+    memo: SimilarityMemo | None = None,
+    collection=None,
 ) -> float:
     """The maximum matching score ``|R ~cap~ S|`` without any reduction."""
     if len(reference) == 0 or len(candidate) == 0:
@@ -47,5 +57,7 @@ def matching_score(
     if backend is None:
         backend = get_backend()
     return backend.assignment_score(
-        backend.weight_matrix(reference, candidate, phi)
+        backend.weight_matrix(
+            reference, candidate, phi, memo=memo, collection=collection
+        )
     )

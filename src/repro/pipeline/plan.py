@@ -42,6 +42,7 @@ from repro.pipeline.stages import (
     VerifyStage,
 )
 from repro.sim.functions import SimilarityFunction
+from repro.sim.memo import SimilarityMemo, resolve_sim_cache_size
 from repro.signatures import get_scheme
 from repro.signatures.base import SignatureScheme
 
@@ -84,6 +85,9 @@ class QueryPlan:
     skip_set: int | None
     stages: tuple[Stage, ...]
     decision: PlannerDecision | None = None
+    #: Cross-stage element-pair similarity memo (edit kinds only;
+    #: ``None`` disables memoization for the pass).
+    memo: SimilarityMemo | None = None
 
     @classmethod
     def build(
@@ -96,6 +100,7 @@ class QueryPlan:
         backend: ComputeBackend | None = None,
         skip_set: int | None = None,
         decision: PlannerDecision | None = None,
+        memo: SimilarityMemo | None = None,
     ) -> "QueryPlan":
         """Assemble the stage sequence for one reference under *config*.
 
@@ -104,7 +109,10 @@ class QueryPlan:
         callers get one planned on the spot.  *scheme* and *backend*
         default to the decision's choices; a caller-supplied scheme is
         planned for (and exactness-gated) by its own name, never by
-        ``config.scheme``.
+        ``config.scheme``.  *memo* is the engine's cross-stage
+        similarity cache; ``None`` builds a fresh one per plan for the
+        edit kinds (sized by the config knob) so even direct callers
+        get within-pass reuse.
         """
         if decision is None:
             decision = plan_query(
@@ -121,6 +129,8 @@ class QueryPlan:
             scheme = get_scheme(decision.scheme)
         if backend is None:
             backend = get_backend(decision.backend)
+        if memo is None and config.similarity.is_edit_based:
+            memo = SimilarityMemo(resolve_sim_cache_size(config.sim_cache_size))
         return cls(
             reference=reference,
             config=config,
@@ -133,6 +143,7 @@ class QueryPlan:
             size_range=size_range(config, len(reference)),
             skip_set=skip_set,
             decision=decision,
+            memo=memo,
             stages=(
                 SignatureStage(enabled=not decision.full_scan),
                 CandidateSelectStage(),
@@ -159,6 +170,9 @@ class QueryPlan:
             stats.fallback_reason = self.decision.fallback_reason
         if len(self.reference) == 0:
             return [], stats
+        memo = self.memo
+        hits_before = memo.hits if memo is not None else 0
+        misses_before = memo.misses if memo is not None else 0
         state = PipelineState()
         timings = stats.stage_seconds
         for stage in self.stages:
@@ -167,4 +181,7 @@ class QueryPlan:
             timings[stage.name] = (
                 timings.get(stage.name, 0.0) + time.perf_counter() - started
             )
+        if memo is not None:
+            stats.sim_cache_hits = memo.hits - hits_before
+            stats.sim_cache_misses = memo.misses - misses_before
         return state.results, stats

@@ -127,6 +127,7 @@ class CandidateSelectStage(Stage):
             size_range=plan.size_range,
             skip_set=plan.skip_set,
             backend=plan.backend,
+            memo=plan.memo,
         )
         state.batch = CandidateBatch.from_infos(
             infos, plan.collection, state.signature.element_bounds
@@ -182,6 +183,7 @@ class NNFilterStage(Stage):
                 plan.collection,
                 q=plan.config.effective_q,
                 backend=plan.backend,
+                memo=plan.memo,
             )
             state.batch = state.batch.take(keep)
             state.batch.estimates = estimates
@@ -212,11 +214,21 @@ class VerifyStage(Stage):
             candidate = plan.collection[set_id]
             if use_reduction:
                 score = reduced_matching_score(
-                    plan.reference, candidate, plan.phi, backend=plan.backend
+                    plan.reference,
+                    candidate,
+                    plan.phi,
+                    backend=plan.backend,
+                    memo=plan.memo,
+                    collection=plan.collection,
                 )
             else:
                 score = matching_score(
-                    plan.reference, candidate, plan.phi, backend=plan.backend
+                    plan.reference,
+                    candidate,
+                    plan.phi,
+                    backend=plan.backend,
+                    memo=plan.memo,
+                    collection=plan.collection,
                 )
             value = relatedness_value(
                 config.metric, score, ref_size, len(candidate)

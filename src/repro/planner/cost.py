@@ -12,15 +12,29 @@ are all exact, so a wrong guess costs only speed.  The thresholds
 mirror what the benchmark suite measures (``benchmarks/test_fig5_*``,
 ``benchmarks/test_backend_speedup.py``, and
 ``benchmarks/test_planner_overhead.py``).
+
+Measured costs beat fixed constants when available: point
+``SILKMOTH_COST_PROFILE`` at a perf-trajectory file written by
+``tools/bench_trajectory.py`` (its ``calibration`` section records
+wall-clock per backend on the pinned workloads) and
+:func:`choose_backend` will prefer the backend that was actually
+fastest on this machine over the :data:`NUMPY_MIN_SETS` guess.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.backends import available_backends
 from repro.core.config import SilkMothConfig
 from repro.index.inverted import InvertedIndex
+
+#: Environment variable naming a perf-trajectory JSON whose
+#: ``calibration`` section supplies measured per-backend timings.
+MEASURED_COSTS_ENV_VAR = "SILKMOTH_COST_PROFILE"
 
 #: Below this many live sets the exhaustive (optimal) signature search
 #: is affordable and its candidate savings dominate; the scheme's own
@@ -107,6 +121,85 @@ class IndexProfile:
         }
 
 
+@dataclass(frozen=True)
+class MeasuredCosts:
+    """Per-backend wall-clock measurements from the trajectory harness.
+
+    Attributes
+    ----------
+    backend_seconds:
+        Backend name -> optimized wall-clock seconds on the pinned
+        calibration workloads (see :mod:`repro.bench.trajectory`).
+    source:
+        Path of the profile file, echoed into plan reasons.
+    """
+
+    backend_seconds: dict
+    source: str
+
+    def fastest_backend(self, candidates: tuple) -> "str | None":
+        """The measured-fastest backend among *candidates*.
+
+        Requires measurements for at least two candidates -- a single
+        timing carries no comparative signal -- and returns ``None``
+        otherwise.
+        """
+        measured = [
+            (self.backend_seconds[name], name)
+            for name in candidates
+            if name in self.backend_seconds
+        ]
+        if len(measured) < 2:
+            return None
+        return min(measured)[1]
+
+
+#: Cache of parsed profiles keyed by (path, mtime_ns): planning happens
+#: once per engine, but services re-plan on compaction and must not
+#: re-read an unchanged file each time.
+_measured_cache: dict = {}
+
+
+def load_measured_costs(path: "str | None" = None) -> "MeasuredCosts | None":
+    """Parse a perf-trajectory file into :class:`MeasuredCosts`.
+
+    *path* defaults to the ``SILKMOTH_COST_PROFILE`` environment
+    variable; returns ``None`` when unset.  A named-but-unreadable or
+    malformed profile raises -- a deliberately configured calibration
+    must not be silently ignored.
+    """
+    if path is None:
+        path = os.environ.get(MEASURED_COSTS_ENV_VAR) or None
+    if path is None:
+        return None
+    try:
+        mtime = Path(path).stat().st_mtime_ns
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read cost profile {path!r} "
+            f"(from {MEASURED_COSTS_ENV_VAR}): {exc}"
+        ) from exc
+    key = (path, mtime)
+    cached = _measured_cache.get(key)
+    if cached is not None:
+        return cached
+    payload = json.loads(Path(path).read_text())
+    backends = payload.get("calibration", {}).get("backends", {})
+    seconds = {}
+    for name, entry in backends.items():
+        value = entry.get("seconds") if isinstance(entry, dict) else None
+        if isinstance(value, (int, float)) and value >= 0:
+            seconds[name] = float(value)
+    if not seconds:
+        raise ValueError(
+            f"cost profile {path!r} has no calibration.backends timings"
+        )
+    costs = MeasuredCosts(backend_seconds=seconds, source=path)
+    _measured_cache.clear()
+    _measured_cache[key] = costs
+    return costs
+
+
 def choose_scheme(
     config: SilkMothConfig, profile: IndexProfile | None
 ) -> tuple[str, str]:
@@ -139,14 +232,36 @@ def choose_scheme(
     )
 
 
-def choose_backend(profile: IndexProfile | None) -> tuple[str, str]:
-    """Resolve an unspecified backend from the workload size.
+def choose_backend(
+    profile: IndexProfile | None,
+    measured: MeasuredCosts | None = None,
+) -> tuple[str, str]:
+    """Resolve an unspecified backend from measurements, then heuristics.
 
     Returns ``(backend_name, reason)``.  Only consulted after the
     explicit config value and the ``SILKMOTH_BACKEND`` environment
     variable (both of which win); results never depend on the backend.
+
+    With *measured* timings covering at least two available backends
+    (``SILKMOTH_COST_PROFILE``), the measured-fastest one wins
+    outright; the fixed :data:`NUMPY_MIN_SETS` threshold is only the
+    fallback guess for machines that never ran the harness.
     """
-    if "numpy" not in available_backends():
+    backends = available_backends()
+    if measured is not None:
+        fastest = measured.fastest_backend(backends)
+        if fastest is not None:
+            timings = ", ".join(
+                f"{name} {measured.backend_seconds[name]:.3f}s"
+                for name in backends
+                if name in measured.backend_seconds
+            )
+            return (
+                fastest,
+                f"measured fastest on this machine ({timings}; "
+                f"{measured.source})",
+            )
+    if "numpy" not in backends:
         return "python", "numpy not installed"
     if profile is not None and profile.live_sets < NUMPY_MIN_SETS:
         return (

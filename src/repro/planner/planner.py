@@ -33,7 +33,12 @@ from dataclasses import dataclass
 from repro.backends import BACKEND_ENV_VAR, KNOWN_BACKENDS
 from repro.core.config import SilkMothConfig
 from repro.index.inverted import InvertedIndex
-from repro.planner.cost import IndexProfile, choose_backend, choose_scheme
+from repro.planner.cost import (
+    IndexProfile,
+    choose_backend,
+    choose_scheme,
+    load_measured_costs,
+)
 from repro.planner.validity import (
     max_prefix_valid_q,
     no_share_similarity_cap,
@@ -221,7 +226,7 @@ def plan_query(
             backend, backend_source = env_backend, "env"
             reasons.append(f"backend={backend} from {BACKEND_ENV_VAR}")
         else:
-            backend, why = choose_backend(profile)
+            backend, why = choose_backend(profile, load_measured_costs())
             backend_source = "auto"
             reasons.append(f"backend={backend} auto-selected: {why}")
 

@@ -125,6 +125,13 @@ class SilkMothService:
         self.generation += 1
         if len(self.cache):
             self.stats.invalidations += 1
+        # The element-pair similarity memo is keyed on the mutation-
+        # independent element texts, but it is still synced to the
+        # write generation: entries for removed sets must not
+        # accumulate, and exactness under mutation never has to argue
+        # about cache staleness.
+        if self.engine.memo is not None:
+            self.engine.memo.sync(self.generation)
 
     def _maybe_replan(self) -> None:
         """Re-plan when the collection has outgrown the last decision.
@@ -188,8 +195,20 @@ class SilkMothService:
         removed = self.index.compact()
         if removed:
             self.stats.compactions += 1
+            # Backend-side per-set caches (the numpy packed-token
+            # store) shed the tombstoned sets too, or they would grow
+            # with lifetime mutations.  Ask the backend that served so
+            # far -- it owns the store -- before re-planning possibly
+            # swaps it out.
+            self.engine.backend.release_packed_sets(
+                self.collection, self.collection.deleted_ids
+            )
             self.engine.replan()
             self._planned_live_sets = self.collection.live_count
+            if self.engine.memo is not None:
+                # Compaction physically drops tombstoned sets' postings;
+                # drop their cached pair values with them.
+                self.engine.memo.clear()
         return removed
 
     # -- planning -------------------------------------------------------
@@ -213,7 +232,10 @@ class SilkMothService:
 
     def _search_cold(self, elements: Sequence[str]) -> list[SearchResult]:
         reference = self._make_reference(elements)
-        return self.engine.search(reference)
+        results, pass_stats = self.engine.search_with_stats(reference)
+        self.stats.sim_cache_hits += pass_stats.sim_cache_hits
+        self.stats.sim_cache_misses += pass_stats.sim_cache_misses
+        return results
 
     def search(self, elements: Sequence[str]) -> list[SearchResult]:
         """All live sets related to the raw reference *elements*.

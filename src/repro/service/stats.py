@@ -33,6 +33,8 @@ _COUNTER_FIELDS = (
     "compactions",
     "invalidations",
     "snapshots_saved",
+    "sim_cache_hits",
+    "sim_cache_misses",
 )
 
 
@@ -51,6 +53,11 @@ class ServiceStats:
     compactions: int = 0
     invalidations: int = 0
     snapshots_saved: int = 0
+    #: Element-pair similarity memo lookups served / missed across the
+    #: cold queries this service ran (edit kinds; see
+    #: :mod:`repro.sim.memo`).
+    sim_cache_hits: int = 0
+    sim_cache_misses: int = 0
     #: Lifetime sum of per-query wall-clock seconds (hits and misses).
     query_seconds_total: float = 0.0
     #: Sliding window of the most recent per-query latencies; bounded so
@@ -68,6 +75,12 @@ class ServiceStats:
     def cache_hit_rate(self) -> float:
         """Fraction of queries served from the cache."""
         return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def sim_cache_hit_rate(self) -> float:
+        """Fraction of pair-similarity lookups served from the memo."""
+        lookups = self.sim_cache_hits + self.sim_cache_misses
+        return self.sim_cache_hits / lookups if lookups else 0.0
 
     @property
     def total_query_seconds(self) -> float:
@@ -93,6 +106,7 @@ class ServiceStats:
         """JSON-serialisable summary (service snapshot metadata / CLI)."""
         payload = {name: getattr(self, name) for name in _COUNTER_FIELDS}
         payload["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        payload["sim_cache_hit_rate"] = round(self.sim_cache_hit_rate, 4)
         payload["mutations"] = self.mutations
         payload["query_seconds_total"] = self.query_seconds_total
         payload["mean_query_seconds"] = self.mean_query_seconds

@@ -1,0 +1,184 @@
+"""Cross-stage element-pair similarity memoization.
+
+The paper's computation-reuse idea (Section 5.2) carries exact
+similarities from the check filter into the NN filter -- but only
+within a single candidate of a single pass.  This module extends the
+reuse across *everything* that evaluates ``phi_alpha`` on element
+pairs: the check filter, the NN filter, and the maximum-matching
+verification, across all candidates of a pass and across queries of a
+long-lived :class:`~repro.service.SilkMothService`.
+
+A :class:`SimilarityMemo` interns element texts into small integer ids
+and keeps an LRU map from unordered id pairs to the canonical
+``phi_alpha`` value (every supported similarity is symmetric).  A
+cached value answers any caller-side floor: ``phi_alpha`` is already
+thresholded, so the floored result is ``value if value >= floor else
+0.0`` -- exactly what :meth:`SimilarityFunction.edit_at_least`
+returns.
+
+Pair values depend only on the two texts and the (kind, alpha) of the
+owning engine's ``phi``, so they never go stale; the service still
+drops the memo on every mutation (via :meth:`sync` against its write
+generation) so entries for removed sets cannot accumulate, which is
+also what makes staleness trivially impossible to reintroduce as the
+keying evolves.
+
+Sizing: ``SilkMothConfig.sim_cache_size`` pairs, defaulting to the
+``SILKMOTH_SIM_CACHE`` environment variable and then
+:data:`DEFAULT_SIM_CACHE_SIZE`; ``0`` disables memoization entirely.
+
+Trade-off to know when sizing: a miss computes the *canonical*
+(floor-free, alpha-banded) value so it can serve every later floor --
+slightly more work per miss than the caller's bounded one-shot call.
+On workloads whose distinct-pair count vastly exceeds the capacity
+(constant eviction, near-zero hit rate) that overhead is not paid
+back; size the cache to the working set, or set it to ``0`` to get
+the bounded one-shot behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.sim.functions import SimilarityFunction
+
+#: Environment variable consulted when ``SilkMothConfig.sim_cache_size``
+#: is left unset; holds the maximum number of cached pairs.
+SIM_CACHE_ENV_VAR = "SILKMOTH_SIM_CACHE"
+
+#: Cached pairs when neither the config knob nor the environment
+#: variable names a size.  At two interned texts plus one float per
+#: pair this stays a few megabytes even when full.
+DEFAULT_SIM_CACHE_SIZE = 65536
+
+
+def resolve_sim_cache_size(configured: "int | None") -> int:
+    """Pair capacity from the config knob, the environment, or the default.
+
+    Raises
+    ------
+    ValueError
+        If the environment variable is set but not a non-negative
+        integer (a deliberately set but broken value must not be
+        silently ignored).
+    """
+    if configured is not None:
+        return configured
+    raw = os.environ.get(SIM_CACHE_ENV_VAR)
+    if raw is None or raw == "":
+        return DEFAULT_SIM_CACHE_SIZE
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{SIM_CACHE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ValueError(
+            f"{SIM_CACHE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+        )
+    return value
+
+
+class SimilarityMemo:
+    """Generation-aware LRU cache of element-pair ``phi_alpha`` values.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cached pairs; ``0`` disables the memo (every call
+        computes).  The text-interning table is bounded by a multiple
+        of the capacity and resets together with the pairs.
+
+    One memo belongs to one engine, hence one ``phi``: values cached
+    under different (kind, alpha) must never share a memo.
+    """
+
+    #: Interned texts tolerated beyond the live pairs' worst case
+    #: (``2 * capacity``) before the id table is rebuilt.
+    _IDS_SLACK = 1024
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._ids: dict = {}
+        self._ids_limit = 2 * capacity + self._IDS_SLACK
+        self._pairs: OrderedDict = OrderedDict()
+        #: Lifetime lookup counters (the pipeline snapshots deltas into
+        #: per-pass stats).
+        self.hits = 0
+        self.misses = 0
+        #: Write generation the cached pairs belong to (see :meth:`sync`).
+        self.generation = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups can ever be served (``capacity > 0``)."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        """Number of cached pairs."""
+        return len(self._pairs)
+
+    def clear(self) -> None:
+        """Drop every cached pair and interned id (counters survive)."""
+        self._ids.clear()
+        self._pairs.clear()
+
+    def sync(self, generation: int) -> None:
+        """Invalidate the cache when the owner's write generation moved.
+
+        The service calls this with its write generation on every
+        mutation; a mismatch drops all entries, so a cached pair can
+        never outlive the collection state it was computed alongside.
+        An owner whose generation can move outside its own mutation
+        path must also sync before reads.
+        """
+        if generation != self.generation:
+            self.generation = generation
+            self.clear()
+
+    def edit_value(
+        self, phi: SimilarityFunction, x: str, y: str, floor: float = 0.0
+    ) -> float:
+        """``phi_alpha(x, y)`` floored at *floor*, served from the cache.
+
+        Semantics match ``phi.edit_at_least(x, y, floor)``: the return
+        value is 0.0 whenever the raw similarity is below *floor*, and
+        the alpha-thresholded similarity otherwise.  The cache stores
+        the canonical (floor-free) value, so one computation serves
+        every later floor.
+        """
+        if self.capacity == 0:
+            return phi.edit_at_least(x, y, floor)
+        ids = self._ids
+        a = ids.get(x)
+        if a is None:
+            if len(ids) >= self._ids_limit:
+                # The id table only grows past the live pairs' reach
+                # when most entries belong to long-evicted pairs;
+                # rebuilding both maps keeps memory proportional to
+                # the configured capacity.
+                self.clear()
+            a = ids[x] = len(ids)
+        b = ids.get(y)
+        if b is None:
+            if len(ids) >= self._ids_limit:
+                self.clear()
+                a = ids[x] = 0
+            b = ids[y] = len(ids)
+        key = (a, b) if a <= b else (b, a)
+        pairs = self._pairs
+        value = pairs.get(key)
+        if value is not None:
+            self.hits += 1
+            pairs.move_to_end(key)
+        else:
+            self.misses += 1
+            value = phi.edit_at_least(x, y, 0.0)
+            pairs[key] = value
+            if len(pairs) > self.capacity:
+                pairs.popitem(last=False)
+        return value if value >= floor else 0.0

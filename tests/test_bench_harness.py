@@ -1,7 +1,15 @@
 """Tests for the benchmark harness and reporting helpers."""
 
+import json
+
 from repro.bench.harness import run_discovery, run_search, run_workload
 from repro.bench.reporting import format_series
+from repro.bench.trajectory import (
+    SCHEMA,
+    format_trajectory,
+    run_trajectory,
+    write_trajectory,
+)
 from repro.core.config import Relatedness, SilkMothConfig
 from repro.core.records import SetCollection
 from repro.workloads.applications import inclusion_dependency, schema_matching
@@ -37,6 +45,33 @@ class TestHarness:
         workload = inclusion_dependency(n_sets=40, n_references=5)
         result = run_workload(workload)
         assert result.stats.passes == 5
+
+
+class TestTrajectory:
+    def test_tiny_run_produces_well_formed_payload(self):
+        payload = run_trajectory(scale=0.05, backends=("python",))
+        assert payload["schema"] == SCHEMA
+        edit = payload["workloads"]["edit_verify"]
+        assert edit["backend"] == "python"
+        assert edit["baseline"]["seconds"] > 0
+        assert edit["optimized"]["seconds"] > 0
+        # Identical results across modes: the kernels change speed only.
+        assert edit["baseline"]["matches"] == edit["optimized"]["matches"]
+        assert edit["baseline"]["verified"] == edit["optimized"]["verified"]
+        # The memo only runs in optimized mode, and it must be visible.
+        assert edit["baseline"]["sim_cache_misses"] == 0
+        assert edit["optimized"]["sim_cache_hits"] > 0
+        token = payload["workloads"]["token_discover"]
+        assert token["baseline"]["matches"] == token["optimized"]["matches"]
+        assert payload["calibration"]["backends"]["python"]["seconds"] > 0
+
+    def test_write_trajectory_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        payload = write_trajectory(path, scale=0.05, backends=("python",))
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == payload["schema"]
+        assert "edit_verify" in on_disk["workloads"]
+        assert "python" in format_trajectory(on_disk)
 
 
 class TestReporting:

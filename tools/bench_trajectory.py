@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run the perf-trajectory harness and write a ``BENCH_<tag>.json``.
+
+The committed ``BENCH_pr4.json`` at the repository root was produced
+by this tool at the default scale; CI re-runs it at a tiny scale as a
+crash smoke (timings are machine-dependent and deliberately not
+asserted).  Future PRs add ``BENCH_<tag>.json`` files of their own so
+the speedup series stays reviewable.
+
+``--output`` is mandatory and should name the *current* PR's tag
+(``BENCH_pr5.json``, ...) -- never overwrite an earlier PR's committed
+baseline; each file is one point of the series.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_trajectory.py --output BENCH_pr4.json
+    PYTHONPATH=src python tools/bench_trajectory.py --scale 0.05 --output /tmp/smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.trajectory import format_trajectory, write_trajectory  # noqa: E402
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (default 1.0; CI smoke uses 0.05)",
+    )
+    parser.add_argument(
+        "--output",
+        required=True,
+        help=(
+            "where to write the JSON payload; use the current PR's tag "
+            "(BENCH_<tag>.json) so earlier trajectory points are never "
+            "overwritten"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        help=(
+            "run only this backend (repeatable; default: all available; "
+            "note the planner's calibration needs at least two)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    payload = write_trajectory(
+        args.output,
+        scale=args.scale,
+        backends=tuple(args.backend) if args.backend else (),
+    )
+    print(format_trajectory(payload))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
