@@ -8,14 +8,31 @@ produces a comparable report.
 
 Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow or shrink
 every dataset proportionally.
+
+Every test collected from this directory carries the ``bench`` marker
+(registered in ``pyproject.toml``), so ``-m "not bench"`` runs the unit
+suite without waiting on the evaluation sweeps while the plain tier-1
+command still collects everything.
 """
 
 import os
+from pathlib import Path
 
 import pytest
 
 #: Baseline dataset sizes; multiplied by REPRO_BENCH_SCALE.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: This directory -- the marker below must only hit tests under it
+#: (the hook receives the whole session's items, not just ours).
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test in benchmarks/ ``bench`` (fast-leg deselection)."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 #: The theta sweep every figure uses (paper: delta from 0.7 to 0.85).
 THETAS = (0.7, 0.75, 0.8, 0.85)

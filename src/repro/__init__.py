@@ -27,6 +27,20 @@ fan-out, and snapshot/restore the whole service::
     service.remove_set(0)            # next query is exact again
     service.save("service.json")     # version-2 snapshot
 
+Beyond one machine: :class:`repro.cluster.SilkMothCluster` shards the
+collection across N workers (in-process, worker processes, or socket
+endpoints), routes each query only to shards whose token summaries can
+intersect it, and merges the shard results into answers bit-identical
+to the single-node engine's::
+
+    from repro import SilkMothCluster, SilkMothConfig
+
+    cluster = SilkMothCluster.from_sets(data, SilkMothConfig(delta=0.3),
+                                        shards=4, transport="process")
+    pairs = cluster.discover()       # == SilkMoth(...).discover()
+    cluster.save("cluster.json")     # manifest + per-shard v3 snapshots
+    cluster.close()
+
 The public surface re-exports the pieces most users need; the
 subpackages (:mod:`repro.signatures`, :mod:`repro.filters`,
 :mod:`repro.matching`, ...) expose the internals for experimentation.
@@ -59,11 +73,14 @@ from repro.baselines.fastjoin import FastJoinBaseline
 from repro.pipeline import QueryPlan
 from repro.planner import IndexProfile, PlannerDecision, format_decision, plan_query
 from repro.service import ServiceStats, SilkMothService
+from repro.cluster import ClusterPassStats, ClusterStats, SilkMothCluster
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlignedPair",
+    "ClusterPassStats",
+    "ClusterStats",
     "DiscoveryResult",
     "ElementRecord",
     "Explanation",
@@ -77,6 +94,7 @@ __all__ = [
     "SetCollection",
     "SetRecord",
     "SilkMoth",
+    "SilkMothCluster",
     "SilkMothConfig",
     "SilkMothService",
     "SimilarityFunction",

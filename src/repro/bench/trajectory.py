@@ -21,6 +21,15 @@ consume instead of its fixed constants (see
 :func:`repro.planner.cost.load_measured_costs`).  Committing one file
 per PR turns "faster" into a reviewable trajectory.
 
+A third pinned workload, ``cluster_discover``, measures *scale-out*
+rather than kernels: full self-discovery on the verification-heavy
+edit dataset, single-node versus a :class:`repro.cluster.SilkMothCluster`
+with process-transport worker shards.  Its ``workers`` map records
+wall clock per worker count, so the committed file shows how the
+sharded path scales on the build machine; the match counts of both
+modes are recorded and must agree (the cluster is exactness-pinned to
+the engine).
+
 Data generation is fully seeded and the harness never reads the clock
 outside ``perf_counter`` spans, so two runs on the same machine are
 comparable; runs on different machines are comparable *within* the
@@ -199,6 +208,158 @@ def _time_search(
     }
 
 
+def sharded_workload(scale: float = 1.0) -> tuple[list[list[str]], SilkMothConfig]:
+    """The pinned workload behind the ``cluster_discover`` entry.
+
+    Reuses the verification-heavy edit dataset: its cost concentrates
+    in exact verification, which is precisely the work sharding spreads
+    across workers, so the entry isolates scale-out rather than
+    re-measuring the kernels.
+    """
+    return edit_workload(scale)
+
+
+def _time_cluster_discover(
+    sets: list[list[str]],
+    config: SilkMothConfig,
+    workers: int,
+    repeats: int = 2,
+) -> dict:
+    """Time full cluster self-discovery with *workers* process shards.
+
+    Cluster construction (worker spawn + per-shard index build) is
+    excluded from the measured span, matching the single-node
+    convention of excluding index build.  Keeps the best of *repeats*
+    wall clocks and the first run's (deterministic) counters.
+    """
+    from repro.cluster import SilkMothCluster
+
+    elapsed = float("inf")
+    matches = 0
+    run_stats = None
+    stats = None
+    per_shard_busy = []
+    for _ in range(max(1, repeats)):
+        cluster = SilkMothCluster.from_sets(
+            sets, config, shards=workers, transport="process"
+        )
+        try:
+            started = time.perf_counter()
+            rows = cluster.discover()
+            elapsed = min(elapsed, time.perf_counter() - started)
+            matches = len(rows)
+            if run_stats is None:
+                run_stats = cluster.run_stats
+                stats = cluster.stats
+                # Per-shard pipeline seconds: the compute each worker
+                # actually did.  Their max is the fan-out critical path
+                # -- the number that must shrink with the worker count
+                # even when the build machine lacks the cores to turn
+                # it into wall clock.
+                per_shard_busy = [
+                    round(
+                        sum(
+                            info["stats"].get("stage_seconds", {}).values()
+                        ),
+                        6,
+                    )
+                    for info in cluster.shard_infos()
+                ]
+        finally:
+            cluster.close()
+    lookups = run_stats.sim_cache_hits + run_stats.sim_cache_misses
+    return {
+        "seconds": elapsed,
+        "matches": matches,
+        "verified": run_stats.verified,
+        "initial_candidates": run_stats.initial_candidates,
+        "sim_cache_hits": run_stats.sim_cache_hits,
+        "sim_cache_misses": run_stats.sim_cache_misses,
+        "sim_cache_hit_rate": round(run_stats.sim_cache_hits / lookups, 4)
+        if lookups
+        else 0.0,
+        "workers": workers,
+        "shards_routed": stats.shards_routed_total,
+        "shards_skipped": stats.shards_skipped_total,
+        "per_shard_seconds": per_shard_busy,
+        "max_shard_seconds": max(per_shard_busy) if per_shard_busy else 0.0,
+    }
+
+
+def _time_single_discover(
+    sets: list[list[str]], config: SilkMothConfig, repeats: int = 2
+) -> dict:
+    """Time full single-node self-discovery (the sharding baseline)."""
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    elapsed = float("inf")
+    matches = 0
+    stats = None
+    for _ in range(max(1, repeats)):
+        engine = SilkMoth(collection, config)
+        started = time.perf_counter()
+        rows = engine.discover()
+        elapsed = min(elapsed, time.perf_counter() - started)
+        matches = len(rows)
+        if stats is None:
+            stats = engine.stats
+    lookups = stats.sim_cache_hits + stats.sim_cache_misses
+    return {
+        "seconds": elapsed,
+        "matches": matches,
+        "verified": stats.verified,
+        "initial_candidates": stats.initial_candidates,
+        "sim_cache_hits": stats.sim_cache_hits,
+        "sim_cache_misses": stats.sim_cache_misses,
+        "sim_cache_hit_rate": round(stats.sim_cache_hits / lookups, 4)
+        if lookups
+        else 0.0,
+        "backend": engine.decision.backend,
+    }
+
+
+def cluster_entry(scale: float = 1.0, worker_counts: tuple = ()) -> dict:
+    """Single-node-vs-sharded measurements for the discovery workload.
+
+    ``baseline`` is the serial engine; ``optimized`` is the cluster at
+    the largest worker count; ``workers`` maps every measured worker
+    count to its wall clock, so the scaling curve (not just one point)
+    lands in the committed file.
+    """
+    import multiprocessing
+
+    if not worker_counts:
+        cpus = multiprocessing.cpu_count()
+        worker_counts = tuple(sorted({1, 2, min(4, max(1, cpus))}))
+    sets, config = sharded_workload(scale)
+    baseline = _time_single_discover(sets, config)
+    per_workers = {}
+    best = None
+    for workers in worker_counts:
+        entry = _time_cluster_discover(sets, config, workers)
+        per_workers[str(workers)] = {
+            "seconds": round(entry["seconds"], 6),
+            "max_shard_seconds": entry["max_shard_seconds"],
+        }
+        if entry["matches"] != baseline["matches"]:  # pragma: no cover
+            raise AssertionError(
+                "cluster discovery diverged from single node: "
+                f"{entry['matches']} != {baseline['matches']} matches"
+            )
+        best = entry  # worker counts ascend; keep the largest
+    backend = baseline.pop("backend")
+    return {
+        "backend": backend,
+        "baseline": baseline,
+        "optimized": best,
+        "workers": per_workers,
+        "speedup": round(baseline["seconds"] / best["seconds"], 3)
+        if best["seconds"] > 0
+        else float("inf"),
+    }
+
+
 def _workload_entry(
     sets: list[list[str]],
     config: SilkMothConfig,
@@ -259,9 +420,18 @@ def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
                 token_entry["optimized"]["stage_seconds"],
             ),
         }
+    # Scale-out entry: one measurement series, not per backend (worker
+    # shards plan their own backends), and excluded from calibration
+    # (process fan-out wall clock is not a backend-speed signal).
+    workloads["cluster_discover"] = cluster_entry(scale)
+    import multiprocessing
+
     return {
         "schema": SCHEMA,
         "python": ".".join(str(part) for part in sys.version_info[:3]),
+        # Worker scaling in cluster_discover is only interpretable
+        # against the core count of the machine that produced the file.
+        "cpus": multiprocessing.cpu_count(),
         "scale": scale,
         "workloads": workloads,
         "calibration": {
@@ -292,7 +462,7 @@ def format_trajectory(payload: dict) -> str:
     lines = []
     for name, entry in sorted(payload["workloads"].items()):
         optimized = entry["optimized"]
-        lines.append(
+        line = (
             f"{name:24s} [{entry['backend']}] "
             f"baseline {entry['baseline']['seconds']:.3f}s -> "
             f"optimized {optimized['seconds']:.3f}s "
@@ -300,4 +470,15 @@ def format_trajectory(payload: dict) -> str:
             f"verified {optimized['verified']}, "
             f"memo hit rate {optimized['sim_cache_hit_rate']:.0%}"
         )
+        workers = entry.get("workers")
+        if workers:
+            curve = ", ".join(
+                f"{count}w {point['seconds']:.3f}s "
+                f"(busiest shard {point['max_shard_seconds']:.3f}s)"
+                for count, point in sorted(
+                    workers.items(), key=lambda pair: int(pair[0])
+                )
+            )
+            line += f"; workers: {curve}"
+        lines.append(line)
     return "\n".join(lines)

@@ -15,6 +15,11 @@ works on real files without writing any Python:
 * ``silkmoth service snapshot|query|info`` drives the online serving
   layer: build a mutable service snapshot, serve batched reference
   queries against it (with cache and fan-out), or inspect one.
+* ``silkmoth cluster shard|query|info`` drives the sharded layer:
+  split an input dataset into a cluster manifest plus per-shard
+  version-3 snapshots, serve reference queries against the cluster
+  (signature routing decides which shards each query touches), or
+  inspect a manifest's shards and planner decisions.
 
 Input formats (``--format``):
 
@@ -468,6 +473,127 @@ def cmd_service_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_shard(args: argparse.Namespace) -> int:
+    """Shard an input dataset into a cluster manifest + v3 snapshots."""
+    from repro.cluster import SilkMothCluster
+
+    config = build_config(args)
+    sets, labels = load_sets(args.input, args.format)
+    if not sets:
+        print("no sets found in input", file=sys.stderr)
+        return 1
+    with SilkMothCluster.from_sets(
+        sets,
+        config,
+        shards=args.shards,
+        transport="inline",
+        summary_bits=args.summary_bits,
+    ) as cluster:
+        for set_id in args.remove or ():
+            if not cluster.is_live(set_id):
+                print(
+                    f"--remove {set_id} out of range or duplicated",
+                    file=sys.stderr,
+                )
+                return 1
+            cluster.remove_set(set_id)
+        cluster.save(args.output)
+        if not args.quiet:
+            print(
+                f"# cluster manifest {args.output}: "
+                f"{len(cluster)} live set(s) across "
+                f"{cluster.n_shards} shard(s)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def cmd_cluster_query(args: argparse.Namespace) -> int:
+    """Serve a batch of reference queries from a cluster manifest."""
+    from repro.cluster import SilkMothCluster
+
+    if args.repeat < 1:
+        print(f"--repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 1
+    config = build_config(args)
+    references, labels = load_sets(args.references, args.format)
+    if not references:
+        print("no reference sets found", file=sys.stderr)
+        return 1
+    with SilkMothCluster.load(
+        args.manifest, config, transport=args.transport
+    ) as cluster:
+        started = time.perf_counter()
+        for _ in range(args.repeat):
+            batches = cluster.search_many(references)
+        elapsed = time.perf_counter() - started
+        out = sys.stdout
+        out.write("reference\tset\tscore\trelatedness\n")
+        for label, results in zip(labels, batches):
+            for r in results:
+                out.write(
+                    f"{label}\t{r.set_id}\t{r.score:.6g}\t{r.relatedness:.6g}\n"
+                )
+        if not args.quiet:
+            stats = cluster.stats
+            print(
+                f"# served {stats.queries} query(ies) over "
+                f"{cluster.n_shards} shard(s) in {elapsed:.3f}s; "
+                f"cache hit rate {stats.cache_hit_rate:.0%}; "
+                f"shard fan-outs {stats.shards_routed_total} routed / "
+                f"{stats.shards_skipped_total} skipped "
+                f"(skip rate {stats.shard_skip_rate:.0%})",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def cmd_cluster_info(args: argparse.Namespace) -> int:
+    """Describe a cluster manifest without serving any queries.
+
+    The inspection config is derived from the manifest's tokenizer
+    settings (default thresholds): shard planner decisions shown here
+    are therefore the *default-config* view; ``cluster query`` plans
+    under the real serving flags.
+    """
+    from repro.cluster import SilkMothCluster
+    from repro.io.persistence import load_cluster_manifest
+
+    payload = load_cluster_manifest(args.manifest)
+    config = SilkMothConfig(
+        similarity=SimilarityKind(payload["similarity"]),
+        q=int(payload["q"]) if SimilarityKind(payload["similarity"]).is_edit_based else None,
+    )
+    with SilkMothCluster.load(args.manifest, config) as cluster:
+        print(f"similarity:   {payload['similarity']}")
+        print(f"q:            {payload['q']}")
+        print(f"shards:       {cluster.n_shards}")
+        print(f"total sets:   {cluster.total_sets}")
+        print(f"live sets:    {len(cluster)}")
+        print(f"generation:   {cluster.generation}")
+        info = cluster.info()
+        summary = info["summary"]
+        print(
+            f"routing:      "
+            + (
+                "summary intersection"
+                if info["routing_certificate"]
+                else "broadcast"
+            )
+            + f" ({summary['kind']} summaries)"
+        )
+        print(f"shard live:   {info['shard_live_sets']}")
+        if "profile" in info:
+            profile = info["profile"]
+            print(
+                f"profile:      {profile['total_postings']} posting(s), "
+                f"{profile['distinct_tokens']} token list(s) "
+                f"(upper bound across shards)"
+            )
+        print(cluster.plan_report())
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``silkmoth stats``: profile the input dataset (Table 3 style)."""
     sets, labels = load_sets(args.input, args.format)
@@ -628,6 +754,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("snapshot", help="service snapshot file")
     info.set_defaults(func=cmd_service_info)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded serving: build, query, and inspect cluster manifests",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    shard = cluster_sub.add_parser(
+        "shard",
+        help="shard an input dataset into a manifest + per-shard snapshots",
+    )
+    shard.add_argument("input", help="input data file")
+    shard.add_argument("--format", choices=FORMATS, default="text")
+    _add_config_options(shard)
+    shard.add_argument(
+        "--output", required=True, help="where to write the manifest (.json)"
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: SILKMOTH_SHARDS, then 4)",
+    )
+    shard.add_argument(
+        "--summary-bits",
+        type=int,
+        default=None,
+        help=(
+            "cap each routing summary at this many Bloom bits "
+            "(default: exact token-hash sets)"
+        ),
+    )
+    shard.add_argument(
+        "--remove",
+        type=int,
+        action="append",
+        help="tombstone this global set id before saving (repeatable)",
+    )
+    shard.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+    shard.set_defaults(func=cmd_cluster_shard)
+
+    cluster_query = cluster_sub.add_parser(
+        "query", help="serve a batch of reference queries from a manifest"
+    )
+    cluster_query.add_argument("manifest", help="cluster manifest file")
+    cluster_query.add_argument(
+        "--references", required=True, help="file of reference sets to serve"
+    )
+    cluster_query.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="how to map the references file to sets (default: text)",
+    )
+    _add_config_options(cluster_query)
+    cluster_query.add_argument(
+        "--transport",
+        choices=("inline", "process", "socket"),
+        default=None,
+        help=(
+            "shard transport (default: SILKMOTH_CLUSTER_TRANSPORT, "
+            "then inline)"
+        ),
+    )
+    cluster_query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the batch this many times (shows the cache hit rate)",
+    )
+    cluster_query.add_argument(
+        "--quiet", action="store_true", help="suppress the stats summary"
+    )
+    cluster_query.set_defaults(func=cmd_cluster_query)
+
+    cluster_info = cluster_sub.add_parser(
+        "info", help="describe a cluster manifest without querying it"
+    )
+    cluster_info.add_argument("manifest", help="cluster manifest file")
+    cluster_info.set_defaults(func=cmd_cluster_info)
 
     return parser
 

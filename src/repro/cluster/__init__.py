@@ -1,0 +1,64 @@
+"""`repro.cluster`: signature-routed multi-shard discovery and serving.
+
+The single-node engine scales one machine; this package shards the
+indexed collection across N workers -- each a full
+engine/index/backend/planner stack behind a pluggable transport -- and
+coordinates them through :class:`SilkMothCluster`, which keeps the
+single-node search/discover/service API and its exactness guarantees.
+
+Layout:
+
+* :mod:`repro.cluster.routing` -- per-shard token summaries (exact or
+  Bloom) and the pair-level certificate that makes skipping shards
+  provably exact;
+* :mod:`repro.cluster.shard` -- the shard-side command host (a wrapped
+  single-node service);
+* :mod:`repro.cluster.transport` -- inline / process / socket shard
+  transports speaking one submit/collect protocol;
+* :mod:`repro.cluster.coordinator` -- the cluster itself: global id
+  space, placement, routing, fan-out/merge, mutations, rebalancing
+  compaction, snapshots;
+* :mod:`repro.cluster.stats` -- merged pass stats plus routing and
+  rebalancing counters.
+"""
+
+from repro.cluster.coordinator import (
+    DEFAULT_SHARDS,
+    SHARDS_ENV_VAR,
+    SilkMothCluster,
+    resolve_shard_count,
+)
+from repro.cluster.routing import (
+    SUMMARY_BITS_ENV_VAR,
+    ReferenceProbe,
+    ShardSummary,
+    reference_probe,
+    routing_certificate_holds,
+    token_hash,
+)
+from repro.cluster.stats import ClusterPassStats, ClusterStats
+from repro.cluster.transport import (
+    KNOWN_TRANSPORTS,
+    TRANSPORT_ENV_VAR,
+    ShardTransportError,
+    resolve_transport_name,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "KNOWN_TRANSPORTS",
+    "SHARDS_ENV_VAR",
+    "SUMMARY_BITS_ENV_VAR",
+    "TRANSPORT_ENV_VAR",
+    "ClusterPassStats",
+    "ClusterStats",
+    "ReferenceProbe",
+    "ShardSummary",
+    "ShardTransportError",
+    "SilkMothCluster",
+    "reference_probe",
+    "resolve_shard_count",
+    "resolve_transport_name",
+    "routing_certificate_holds",
+    "token_hash",
+]

@@ -1,0 +1,881 @@
+"""`SilkMothCluster`: signature-routed related-set serving across shards.
+
+The coordinator owns the *global* view of a sharded collection: the
+append-only global id space, the placement table mapping each global id
+to ``(shard, local id)``, the raw element texts (its directory), the
+per-shard routing summaries, the cluster-level query cache and the
+lifetime stats.  Shards own everything else -- each one is a full
+single-node engine (collection, inverted index, backend, sim memo,
+planner decision) behind a :mod:`~repro.cluster.transport`.
+
+A query runs in four steps:
+
+1. **route** -- hash the reference's index tokens and intersect them
+   with every shard summary; shards that provably cannot answer are
+   skipped (see :mod:`repro.cluster.routing` for the exactness
+   argument);
+2. **fan out** -- submit the search to every routed shard, then
+   collect (worker shards compute concurrently);
+3. **merge** -- translate shard-local result ids to global ids, sort,
+   and sum the shards' :class:`~repro.core.stats.PassStats` into one
+   :class:`~repro.cluster.stats.ClusterPassStats`;
+4. **cache** -- memoise under the cluster-wide write generation,
+   exactly like the single-node service.
+
+Mutations mirror :class:`repro.service.SilkMothService` semantics on
+the global id space -- ``add`` appends a fresh global id,
+``remove`` tombstones, ``update`` is tombstone-plus-append -- so a
+cluster is observably identical to a single-node service fed the same
+mutation sequence.  :meth:`compact` additionally *rebalances*: live
+sets migrate from overloaded to underloaded shards (global ids
+untouched -- only the placement table changes), then every summary is
+rebuilt tight from the shards' live token inventories.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.cluster.routing import (
+    ReferenceProbe,
+    ShardSummary,
+    element_token_hashes,
+    make_token_summary,
+    reference_probe,
+    resolve_summary_bits,
+    routing_certificate_holds,
+)
+from repro.cluster.stats import ClusterPassStats, ClusterStats
+from repro.cluster.transport import (
+    ShardTransportError,
+    make_transport,
+    resolve_transport_name,
+)
+from repro.core.config import Relatedness, SilkMothConfig
+from repro.core.results import DiscoveryResult, SearchResult
+from repro.core.stats import RunStats
+from repro.io.persistence import (
+    load_cluster_manifest,
+    load_shard_snapshot,
+    save_cluster_manifest,
+    save_shard_snapshot,
+)
+from repro.pipeline.driver import keep_discovery_pair
+from repro.planner.cost import IndexProfile, merge_profiles
+from repro.service.batch import plan_batch
+from repro.service.cache import (
+    LRUQueryCache,
+    config_fingerprint,
+    reference_fingerprint,
+)
+from repro.sim.functions import SimilarityKind
+from repro.tokenize.tokenizers import Tokenizer
+
+#: Environment variable supplying the default shard count.
+SHARDS_ENV_VAR = "SILKMOTH_SHARDS"
+
+#: Shard count when neither the constructor nor the env var names one.
+DEFAULT_SHARDS = 4
+
+
+def resolve_shard_count(shards: "int | None") -> int:
+    """Resolve the shard-count knob: explicit value, env var, default."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV_VAR) or None
+        shards = int(raw) if raw is not None else DEFAULT_SHARDS
+    if shards < 1:
+        raise ValueError(f"a cluster needs >= 1 shard, got {shards}")
+    return shards
+
+
+class SilkMothCluster:
+    """Related-set search/discovery/serving over N sharded engines.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration, shared by every shard (results cached
+        under its fingerprint, exactly like the single-node service).
+    shards:
+        Shard count; ``None`` defers to ``SILKMOTH_SHARDS`` and then
+        :data:`DEFAULT_SHARDS`.
+    transport:
+        ``"inline"``, ``"process"`` or ``"socket"``; ``None`` defers to
+        ``SILKMOTH_CLUSTER_TRANSPORT`` and then ``"inline"``.
+    summary_bits:
+        Routing-summary sizing: 0 keeps exact token-hash sets, a
+        positive value caps each shard summary at that many Bloom bits;
+        ``None`` defers to ``SILKMOTH_SHARD_SUMMARY_BITS``.
+    cache_capacity:
+        Cluster-level query cache size (0 disables caching).
+    compact_dead_fraction:
+        Per-shard auto-compaction threshold (as in the service).
+    """
+
+    def __init__(
+        self,
+        config: SilkMothConfig,
+        *,
+        shards: "int | None" = None,
+        transport: "str | None" = None,
+        summary_bits: "int | None" = None,
+        cache_capacity: int = 1024,
+        compact_dead_fraction: float = 0.25,
+    ):
+        n_shards = resolve_shard_count(shards)
+        self._init_common(
+            config,
+            n_shards,
+            resolve_transport_name(transport),
+            resolve_summary_bits(summary_bits),
+            cache_capacity,
+            compact_dead_fraction,
+            shard_states=[((), ()) for _ in range(n_shards)],
+        )
+
+    def _init_common(
+        self,
+        config: SilkMothConfig,
+        n_shards: int,
+        transport_name: str,
+        summary_bits: int,
+        cache_capacity: int,
+        compact_dead_fraction: float,
+        shard_states: list,
+    ) -> None:
+        """Shared constructor body (``__init__``, ``from_sets``, ``load``).
+
+        *shard_states* is one ``(raw_sets, deleted_local_ids)`` pair per
+        shard; summaries are built here from the live sets' tokens.
+        """
+        self.config = config
+        self._tokenizer = Tokenizer(
+            kind=config.similarity, q=config.effective_q
+        )
+        self._transport_name = transport_name
+        self._summary_bits = summary_bits
+        self._compact_dead_fraction = compact_dead_fraction
+        self._transports = [
+            make_transport(
+                transport_name, config, raw_sets, deleted, compact_dead_fraction
+            )
+            for raw_sets, deleted in shard_states
+        ]
+        self._summaries: list[ShardSummary] = []
+        for raw_sets, deleted in shard_states:
+            summary = ShardSummary(make_token_summary(summary_bits))
+            dead = set(deleted)
+            for local_id, elements in enumerate(raw_sets):
+                if local_id in dead:
+                    continue
+                summary.add_set_tokens(
+                    *element_token_hashes(self._tokenizer, elements)
+                )
+            self._summaries.append(summary)
+        #: Global id -> (shard index, shard-local id); append-only.
+        self._placement: list[tuple[int, int]] = []
+        #: Global id -> raw element texts (the coordinator's directory).
+        self._raw: list[tuple[str, ...]] = []
+        #: Globally tombstoned ids.
+        self._deleted: set[int] = set()
+        #: Per shard: local id -> global id (grows with every add/move).
+        self._shard_to_global: list[list[int]] = [[] for _ in range(n_shards)]
+        #: Per shard: live sets currently placed there.
+        self._shard_live: list[int] = [0] * n_shards
+        #: Per shard: shard-local write generation (mutations routed there).
+        self._shard_generations: list[int] = [0] * n_shards
+        #: Cluster-wide write generation gating the query cache.
+        self.generation = 0
+        self.cache = LRUQueryCache(cache_capacity)
+        self.stats = ClusterStats()
+        #: Funnel aggregate over merged cluster passes (engine parity).
+        self.run_stats = RunStats()
+        #: The most recent query's fan-out verdict (observability).
+        self.last_pass: "ClusterPassStats | None" = None
+        self._config_fp = config_fingerprint(config)
+        self._certificate = routing_certificate_holds(config)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers and lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Sequence[Sequence[str]],
+        config: SilkMothConfig,
+        **kwargs,
+    ) -> "SilkMothCluster":
+        """Build a cluster from raw sets, placed round-robin.
+
+        Equivalent to constructing empty and calling :meth:`add_set`
+        per set, but ships each shard its whole slice in one transport
+        handshake.  Keyword arguments are the constructor's.
+        """
+        n_shards = resolve_shard_count(kwargs.pop("shards", None))
+        transport_name = resolve_transport_name(kwargs.pop("transport", None))
+        summary_bits = resolve_summary_bits(kwargs.pop("summary_bits", None))
+        cache_capacity = kwargs.pop("cache_capacity", 1024)
+        compact_dead_fraction = kwargs.pop("compact_dead_fraction", 0.25)
+        if kwargs:
+            # Validate BEFORE spawning: a typoed keyword must not leak
+            # unreachable (hence unclosable) worker processes.
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        shard_sets: list[list[Sequence[str]]] = [[] for _ in range(n_shards)]
+        placement: list[tuple[int, int]] = []
+        for gid, elements in enumerate(sets):
+            shard = gid % n_shards
+            placement.append((shard, len(shard_sets[shard])))
+            shard_sets[shard].append(tuple(elements))
+        cluster = cls.__new__(cls)
+        cluster._init_common(
+            config,
+            n_shards,
+            transport_name,
+            summary_bits,
+            cache_capacity,
+            compact_dead_fraction,
+            shard_states=[(shard_sets[k], ()) for k in range(n_shards)],
+        )
+        cluster._placement = placement
+        cluster._raw = [tuple(elements) for elements in sets]
+        for gid, (shard, local) in enumerate(placement):
+            cluster._shard_to_global[shard].append(gid)
+            cluster._shard_live[shard] += 1
+        return cluster
+
+    def close(self) -> None:
+        """Shut every shard transport down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for transport in self._transports:
+            transport.close()
+
+    def __enter__(self) -> "SilkMothCluster":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close every shard."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """How many shards the cluster holds."""
+        return len(self._transports)
+
+    @property
+    def transport_name(self) -> str:
+        """The transport every shard runs behind."""
+        return self._transport_name
+
+    @property
+    def routing_enabled(self) -> bool:
+        """Whether the pair-level routing certificate holds (else
+        every query broadcasts to all shards)."""
+        return self._certificate
+
+    @property
+    def total_sets(self) -> int:
+        """Global ids ever assigned (live sets plus tombstones)."""
+        return len(self._placement)
+
+    def __len__(self) -> int:
+        """Number of live sets across all shards."""
+        return len(self._placement) - len(self._deleted)
+
+    def live_set_ids(self) -> list[int]:
+        """Global ids of the live sets, ascending."""
+        return [
+            gid
+            for gid in range(len(self._placement))
+            if gid not in self._deleted
+        ]
+
+    def is_live(self, set_id: int) -> bool:
+        """Whether *set_id* addresses a live global set."""
+        return (
+            0 <= set_id < len(self._placement) and set_id not in self._deleted
+        )
+
+    def raw_set(self, set_id: int) -> tuple[str, ...]:
+        """The raw element texts stored under global id *set_id*."""
+        return self._raw[set_id]
+
+    def placement_of(self, set_id: int) -> tuple[int, int]:
+        """The (shard, local id) a global set currently lives at."""
+        return self._placement[set_id]
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        self.generation += 1
+        if len(self.cache):
+            self.stats.invalidations += 1
+
+    def _pick_shard(self) -> int:
+        """Placement policy: the least-loaded shard, lowest index first.
+
+        Starting from an empty or balanced cluster this degenerates to
+        round-robin, and it keeps converging back to balance as
+        removals skew the shards.
+        """
+        return min(range(self.n_shards), key=lambda k: (self._shard_live[k], k))
+
+    def add_set(self, elements: Sequence[str]) -> int:
+        """Append one set; returns its global id (searchable immediately)."""
+        self._ensure_open()
+        shard = self._pick_shard()
+        local = self._transports[shard].request("add", (tuple(elements),))
+        gid = len(self._placement)
+        self._placement.append((shard, local))
+        self._raw.append(tuple(elements))
+        self._shard_to_global[shard].append(gid)
+        self._shard_live[shard] += 1
+        self._shard_generations[shard] += 1
+        self._summaries[shard].add_set_tokens(
+            *element_token_hashes(self._tokenizer, elements)
+        )
+        self.stats.adds += 1
+        self._mutated()
+        return gid
+
+    def remove_set(self, set_id: int) -> None:
+        """Tombstone one global set; it stops matching immediately."""
+        self._ensure_open()
+        if not self.is_live(set_id):
+            raise KeyError(f"set_id {set_id} is not a live set")
+        shard, local = self._placement[set_id]
+        self._transports[shard].request("remove", (local,))
+        self._deleted.add(set_id)
+        self._shard_live[shard] -= 1
+        self._shard_generations[shard] += 1
+        self.stats.removes += 1
+        self._mutated()
+
+    def update_set(self, set_id: int, elements: Sequence[str]) -> int:
+        """Replace one set's contents; returns its fresh global id.
+
+        Tombstone-plus-append, mirroring the single-node service: the
+        old id is never reused, and the new record may land on a
+        different shard (the placement policy decides).
+        """
+        self._ensure_open()
+        if not self.is_live(set_id):
+            raise KeyError(f"set_id {set_id} is not a live set")
+        old_shard, old_local = self._placement[set_id]
+        self._transports[old_shard].request("remove", (old_local,))
+        self._deleted.add(set_id)
+        self._shard_live[old_shard] -= 1
+        self._shard_generations[old_shard] += 1
+        shard = self._pick_shard()
+        local = self._transports[shard].request("add", (tuple(elements),))
+        gid = len(self._placement)
+        self._placement.append((shard, local))
+        self._raw.append(tuple(elements))
+        self._shard_to_global[shard].append(gid)
+        self._shard_live[shard] += 1
+        self._shard_generations[shard] += 1
+        self._summaries[shard].add_set_tokens(
+            *element_token_hashes(self._tokenizer, elements)
+        )
+        self.stats.updates += 1
+        self._mutated()
+        return gid
+
+    def compact(self) -> int:
+        """Compact every shard, rebalance placement, rebuild summaries.
+
+        Returns the number of postings dropped across shards.  Global
+        ids never change -- rebalancing only rewrites the coordinator's
+        placement table -- so cached results and stored ids stay
+        meaningful (the query cache is generation-gated anyway).
+        """
+        self._ensure_open()
+        for transport in self._transports:
+            transport.submit("compact", ())
+        removed = sum(self._collect_from(list(range(self.n_shards))))
+        moves = self.rebalance()
+        self._refresh_summaries()
+        if removed or moves:
+            self.stats.compactions += 1
+        return removed
+
+    def rebalance(self) -> int:
+        """Even out live-set counts across shards; returns sets moved.
+
+        Moves the youngest live sets off the most loaded shard onto the
+        least loaded one until the spread is at most one set.  A move
+        is remove-here-add-there under the *same* global id, so nothing
+        observable changes -- results, ids and scores are identical
+        before and after.
+        """
+        self._ensure_open()
+        moves = 0
+        while True:
+            heaviest = max(
+                range(self.n_shards), key=lambda k: (self._shard_live[k], -k)
+            )
+            lightest = min(
+                range(self.n_shards), key=lambda k: (self._shard_live[k], k)
+            )
+            if self._shard_live[heaviest] - self._shard_live[lightest] <= 1:
+                break
+            gid = self._youngest_live_on(heaviest)
+            old_local = self._placement[gid][1]
+            self._transports[heaviest].request("remove", (old_local,))
+            local = self._transports[lightest].request(
+                "add", (self._raw[gid],)
+            )
+            self._placement[gid] = (lightest, local)
+            self._shard_to_global[lightest].append(gid)
+            self._shard_live[heaviest] -= 1
+            self._shard_live[lightest] += 1
+            self._shard_generations[heaviest] += 1
+            self._shard_generations[lightest] += 1
+            self._summaries[lightest].add_set_tokens(
+                *element_token_hashes(self._tokenizer, self._raw[gid])
+            )
+            moves += 1
+        self.stats.rebalance_moves += moves
+        return moves
+
+    def _youngest_live_on(self, shard: int) -> int:
+        """The highest global id currently live on *shard*."""
+        table = self._shard_to_global[shard]
+        for local in range(len(table) - 1, -1, -1):
+            gid = table[local]
+            if gid not in self._deleted and self._placement[gid] == (
+                shard,
+                local,
+            ):
+                return gid
+        raise RuntimeError(f"shard {shard} has no live sets to move")
+
+    def _refresh_summaries(self) -> None:
+        """Rebuild every routing summary from the shards' live tokens."""
+        for transport in self._transports:
+            transport.submit("summary", ())
+        replies = self._collect_from(list(range(self.n_shards)))
+        for summary, (hashes, has_empty) in zip(self._summaries, replies):
+            summary.rebuild(hashes, has_empty, self._summary_bits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+
+    def _collect_from(self, shard_indices: list) -> list:
+        """Collect one reply per listed shard, draining ALL of them.
+
+        The submit/collect protocol has no request ids -- replies pair
+        up with submissions by order -- so a shard failure must not
+        abort the loop with other shards' replies still queued (the
+        next command would then receive a stale answer).  Every
+        submitted reply is collected (or its error recorded) before the
+        first failure is re-raised.
+        """
+        replies = []
+        failure: "tuple[int, Exception] | None" = None
+        for k in shard_indices:
+            try:
+                replies.append(self._transports[k].collect())
+            except Exception as exc:  # noqa: BLE001 - re-raised after drain
+                replies.append(None)
+                if failure is None:
+                    failure = (k, exc)
+        if failure is not None:
+            shard, exc = failure
+            raise ShardTransportError(f"shard {shard}: {exc}") from exc
+        return replies
+
+    def _route(self, probe: ReferenceProbe) -> list[int]:
+        """Shard indices that might answer *probe* (all, sans certificate)."""
+        if not self._certificate:
+            return list(range(self.n_shards))
+        return [
+            k
+            for k, summary in enumerate(self._summaries)
+            if summary.may_answer(probe)
+        ]
+
+    def _search_cold(
+        self, elements: Sequence[str], skip_gid: "int | None" = None
+    ) -> tuple[list[SearchResult], ClusterPassStats]:
+        """Route, fan out, merge: one uncached cluster search pass."""
+        self._ensure_open()
+        if len(elements) == 0:
+            # The single-node engine answers an empty reference without
+            # running any stage; so does the cluster, shard-free.
+            cluster_pass = ClusterPassStats.from_shards(self.n_shards, [])
+            self.stats.record_routing(cluster_pass)
+            self.last_pass = cluster_pass
+            return [], cluster_pass
+        if self._certificate:
+            probe = reference_probe(self._tokenizer, elements)
+            selected = self._route(probe)
+        else:
+            # Broadcast mode never consults the probe; skip hashing.
+            selected = list(range(self.n_shards))
+        skip_shard, skip_local = None, None
+        if skip_gid is not None and self.is_live(skip_gid):
+            skip_shard, skip_local = self._placement[skip_gid]
+        payload = tuple(elements)
+        for k in selected:
+            self._transports[k].submit(
+                "search", (payload, skip_local if k == skip_shard else None)
+            )
+        replies = self._collect_from(selected)
+        merged_results: list[SearchResult] = []
+        per_shard: list[tuple[int, object]] = []
+        for k, (results, pass_stats) in zip(selected, replies):
+            per_shard.append((k, pass_stats))
+            table = self._shard_to_global[k]
+            for result in results:
+                merged_results.append(
+                    SearchResult(
+                        set_id=table[result.set_id],
+                        score=result.score,
+                        relatedness=result.relatedness,
+                    )
+                )
+        merged_results.sort(key=lambda result: result.set_id)
+        cluster_pass = ClusterPassStats.from_shards(self.n_shards, per_shard)
+        self.stats.record_routing(cluster_pass)
+        for _, pass_stats in per_shard:
+            self.stats.record_pass(pass_stats)
+        self.run_stats.add(cluster_pass.merged)
+        self.last_pass = cluster_pass
+        return merged_results, cluster_pass
+
+    def search(self, elements: Sequence[str]) -> list[SearchResult]:
+        """All live sets related to the raw reference *elements*.
+
+        Semantics, caching and result ordering match
+        :meth:`repro.service.SilkMothService.search`; set ids are
+        global ids.
+        """
+        key = (reference_fingerprint(elements), self._config_fp)
+        started = time.perf_counter()
+        cached = self.cache.get(key, self.generation)
+        if cached is not None:
+            self.stats.record_query(time.perf_counter() - started, True)
+            return list(cached)
+        results, _ = self._search_cold(elements)
+        self.cache.put(key, self.generation, tuple(results))
+        self.stats.record_query(time.perf_counter() - started, False)
+        return results
+
+    def search_many(
+        self, references: Sequence[Sequence[str]]
+    ) -> list[list[SearchResult]]:
+        """Answer a batch of references; one result list per input.
+
+        Intra-batch duplicates collapse onto one computation and cached
+        references skip the fan-out, as in the single-node service; the
+        cold remainder runs one fan-out each (parallelism comes from
+        the shards, not an extra coordinator-side pool).
+        """
+        self.stats.batches += 1
+        plan = plan_batch(references)
+        self.stats.batch_queries_deduplicated += plan.duplicates
+        answers: dict[str, tuple[SearchResult, ...]] = {}
+        for fingerprint, elements in plan.unique.items():
+            started = time.perf_counter()
+            cached = self.cache.get(
+                (fingerprint, self._config_fp), self.generation
+            )
+            if cached is not None:
+                answers[fingerprint] = cached
+                self.stats.record_query(time.perf_counter() - started, True)
+                continue
+            results, _ = self._search_cold(elements)
+            answers[fingerprint] = tuple(results)
+            self.cache.put(
+                (fingerprint, self._config_fp),
+                self.generation,
+                answers[fingerprint],
+            )
+            self.stats.record_query(time.perf_counter() - started, False)
+        output: list[list[SearchResult]] = []
+        emitted: set[str] = set()
+        for fingerprint in plan.fingerprints:
+            if fingerprint in emitted:
+                self.stats.record_query(0.0, True)
+            emitted.add(fingerprint)
+            output.append(list(answers[fingerprint]))
+        return output
+
+    def discover(self) -> list[DiscoveryResult]:
+        """RELATED SET DISCOVERY over the cluster's own live sets.
+
+        One routed fan-out per live reference, with the shard holding
+        the reference skipping the self pair locally and the shared
+        :func:`~repro.pipeline.driver.keep_discovery_pair` rule applied
+        to the merged global rows -- output is identical (ids, scores,
+        ordering) to :meth:`repro.SilkMoth.discover` on the same data.
+        Bypasses the query cache: member-set passes carry self-skip
+        semantics that external queries must never inherit.
+        """
+        symmetric = self.config.metric is Relatedness.SIMILARITY
+        output: list[DiscoveryResult] = []
+        for gid in range(len(self._placement)):
+            if gid in self._deleted:
+                continue
+            results, _ = self._search_cold(self._raw[gid], skip_gid=gid)
+            for result in results:
+                if keep_discovery_pair(
+                    gid, result.set_id, self_mode=True, symmetric=symmetric
+                ):
+                    output.append(
+                        DiscoveryResult(
+                            reference_id=gid,
+                            set_id=result.set_id,
+                            score=result.score,
+                            relatedness=result.relatedness,
+                        )
+                    )
+        return output
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_infos(self) -> list[dict]:
+        """One descriptor per shard (sizes, generation, decision, stats)."""
+        self._ensure_open()
+        for transport in self._transports:
+            transport.submit("info", ())
+        return self._collect_from(list(range(self.n_shards)))
+
+    def info(self) -> dict:
+        """Cluster descriptor: shards, routing state, merged profile."""
+        infos = self.shard_infos()
+        profiles = []
+        for entry in infos:
+            profile = entry.get("decision", {}).get("profile")
+            if isinstance(profile, dict):
+                profiles.append(IndexProfile.from_dict(profile))
+        payload = {
+            "shards": self.n_shards,
+            "transport": self._transport_name,
+            "routing_certificate": self._certificate,
+            "summary": {
+                "kind": self._summaries[0].tokens.kind,
+                "bits": self._summary_bits,
+                "tokens_per_shard": [
+                    len(summary.tokens) for summary in self._summaries
+                ],
+                "has_empty": [
+                    summary.has_empty for summary in self._summaries
+                ],
+            },
+            "total_sets": len(self._placement),
+            "live_sets": len(self),
+            "tombstones": len(self._deleted),
+            "generation": self.generation,
+            "shard_live_sets": list(self._shard_live),
+            "per_shard": infos,
+            "stats": self.stats.to_dict(),
+        }
+        if profiles:
+            payload["profile"] = merge_profiles(profiles).to_dict()
+        return payload
+
+    def plan_report(self) -> str:
+        """Human-readable per-shard planner summary (``cluster info``)."""
+        lines = [
+            f"cluster: {self.n_shards} shard(s), transport "
+            f"{self._transport_name}, routing "
+            + (
+                "by summary intersection (pair certificate holds)"
+                if self._certificate
+                else "broadcast (no pair certificate for this config)"
+            )
+        ]
+        for k, entry in enumerate(self.shard_infos()):
+            decision = entry.get("decision", {})
+            lines.append(
+                f"  shard {k}: {entry.get('live_sets', 0)} live set(s), "
+                f"scheme={decision.get('scheme', '?')}, "
+                f"backend={decision.get('backend', '?')}, "
+                f"full_scan={decision.get('full_scan', '?')}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _shard_file_names(self, manifest: Path) -> list[str]:
+        """Per-shard snapshot file names, derived from the manifest's."""
+        stem = manifest.stem
+        suffix = manifest.suffix or ".json"
+        return [f"{stem}-shard{k}{suffix}" for k in range(self.n_shards)]
+
+    def save(self, path: "str | Path") -> None:
+        """Write the cluster manifest plus one v3 snapshot per shard.
+
+        Shard files land next to the manifest as
+        ``<stem>-shard<k><suffix>``.  Everything is written from the
+        coordinator's directory (raw texts, placement), so no shard
+        round-trip is needed and a snapshot of a remote-transport
+        cluster costs the same as an inline one.
+        """
+        self._ensure_open()
+        manifest = Path(path)
+        shard_files = self._shard_file_names(manifest)
+        kind = self.config.similarity
+        q = self.config.effective_q
+        for k, name in enumerate(shard_files):
+            table = self._shard_to_global[k]
+            sets = [list(self._raw[gid]) for gid in table]
+            deleted_locals = [
+                local
+                for local, gid in enumerate(table)
+                if gid in self._deleted or self._placement[gid] != (k, local)
+            ]
+            save_shard_snapshot(
+                manifest.parent / name,
+                kind=kind,
+                q=q,
+                sets=sets,
+                deleted=deleted_locals,
+                shard_meta={
+                    "shard_index": k,
+                    "local_to_global": list(table),
+                    "generation": self._shard_generations[k],
+                },
+            )
+        save_cluster_manifest(
+            manifest,
+            kind=kind,
+            q=q,
+            shard_files=shard_files,
+            metadata={
+                "placement": [list(pair) for pair in self._placement],
+                "deleted": sorted(self._deleted),
+                "generation": self.generation,
+                "shard_generations": list(self._shard_generations),
+                "config_fingerprint": self._config_fp,
+                "summary_bits": self._summary_bits,
+                "transport": self._transport_name,
+                "stats": self.stats.to_dict(),
+            },
+        )
+        self.stats.snapshots_saved += 1
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | Path",
+        config: SilkMothConfig,
+        *,
+        transport: "str | None" = None,
+        summary_bits: "int | None" = None,
+        cache_capacity: int = 1024,
+        compact_dead_fraction: float = 0.25,
+    ) -> "SilkMothCluster":
+        """Rebuild a cluster from a manifest written by :meth:`save`.
+
+        The shard count comes from the manifest; the transport may
+        differ from the one the snapshot was taken under (it is an
+        execution concern, not data).  Tokenizer settings are validated
+        against *config*; lifetime stats are restored only under the
+        same config fingerprint (the write generation always is).
+        """
+        manifest = Path(path)
+        payload = load_cluster_manifest(manifest)
+        kind = SimilarityKind(payload["similarity"])
+        q = int(payload["q"])
+        if kind is not config.similarity:
+            raise ValueError(
+                f"{manifest}: cluster was tokenised for {kind.value!r}, "
+                f"expected {config.similarity.value!r}"
+            )
+        if q != config.effective_q:
+            raise ValueError(
+                f"{manifest}: cluster was tokenised with q={q}, "
+                f"expected q={config.effective_q}"
+            )
+        shard_states = []
+        tables = []
+        for name in payload["shards"]:
+            collection, shard_meta = load_shard_snapshot(
+                manifest.parent / name, expected_kind=kind, expected_q=q
+            )
+            raw_sets = [
+                tuple(element.text for element in record.elements)
+                for record in collection
+            ]
+            shard_states.append((raw_sets, sorted(collection.deleted_ids)))
+            table = shard_meta.get("local_to_global", [])
+            if len(table) != len(raw_sets):
+                raise ValueError(
+                    f"{name}: local_to_global maps {len(table)} sets, "
+                    f"snapshot holds {len(raw_sets)}"
+                )
+            tables.append([int(gid) for gid in table])
+        meta = payload.get("cluster", {})
+        placement_raw = meta.get("placement", [])
+        cluster = cls.__new__(cls)
+        cluster._init_common(
+            config,
+            len(shard_states),
+            resolve_transport_name(transport),
+            resolve_summary_bits(
+                summary_bits
+                if summary_bits is not None
+                else meta.get("summary_bits", 0)
+            ),
+            cache_capacity,
+            compact_dead_fraction,
+            shard_states=shard_states,
+        )
+        cluster._placement = [
+            (int(pair[0]), int(pair[1])) for pair in placement_raw
+        ]
+        cluster._deleted = {int(gid) for gid in meta.get("deleted", [])}
+        cluster._shard_to_global = tables
+        cluster._raw = [()] * len(cluster._placement)
+        for k, table in enumerate(tables):
+            for local, gid in enumerate(table):
+                if not 0 <= gid < len(cluster._placement):
+                    raise ValueError(
+                        f"shard {k} maps local {local} to unknown global "
+                        f"id {gid}"
+                    )
+                if cluster._placement[gid] == (k, local):
+                    cluster._raw[gid] = tuple(shard_states[k][0][local])
+        for gid, (shard, local) in enumerate(cluster._placement):
+            if (
+                not 0 <= shard < len(tables)
+                or not 0 <= local < len(tables[shard])
+                or tables[shard][local] != gid
+            ):
+                raise ValueError(
+                    f"{manifest}: placement maps global id {gid} to "
+                    f"shard {shard} local {local}, but that slot does "
+                    "not hold it"
+                )
+            if gid not in cluster._deleted:
+                cluster._shard_live[shard] += 1
+        generations = meta.get("shard_generations", [])
+        if len(generations) == len(shard_states):
+            cluster._shard_generations = [int(g) for g in generations]
+        cluster.generation = int(meta.get("generation", 0))
+        saved_stats = meta.get("stats")
+        if (
+            isinstance(saved_stats, dict)
+            and meta.get("config_fingerprint") == cluster._config_fp
+        ):
+            cluster.stats = ClusterStats.from_dict(saved_stats)
+        return cluster

@@ -1,0 +1,146 @@
+"""Cluster-level observability: merged pass stats plus routing counters.
+
+Each routed shard runs one ordinary pipeline pass and returns its
+:class:`~repro.core.stats.PassStats`; the coordinator folds them into a
+:class:`ClusterPassStats` -- the familiar funnel counters summed across
+shards, plus how many shards the router touched versus skipped.
+:class:`ClusterStats` extends the service-lifetime counters with the
+routing totals, so a long-lived cluster reports hit rates, latency
+*and* fan-out efficiency from one object (and inherits
+:meth:`~repro.service.stats.ServiceStats.export_cost_profile`, since
+shard passes feed the same per-backend stage timings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import PassStats
+from repro.service.stats import ServiceStats
+
+
+def merge_pass_stats(per_shard: list[PassStats]) -> PassStats:
+    """Sum shard passes into one cluster-level :class:`PassStats`.
+
+    Counters and stage timings add; the backend/scheme labels keep the
+    unique value when every shard agrees and read ``"mixed"`` otherwise
+    (shards plan independently, so e.g. a small shard may pick the
+    pure-Python backend while a big one picks numpy).
+    """
+    merged = PassStats()
+    backends = {stats.backend for stats in per_shard if stats.backend}
+    schemes = {stats.scheme for stats in per_shard if stats.scheme}
+    merged.backend = backends.pop() if len(backends) == 1 else "mixed"
+    merged.scheme = schemes.pop() if len(schemes) == 1 else "mixed"
+    if not per_shard:
+        merged.backend = ""
+        merged.scheme = ""
+    for stats in per_shard:
+        merged.signature_tokens += stats.signature_tokens
+        merged.full_scan = merged.full_scan or stats.full_scan
+        merged.initial_candidates += stats.initial_candidates
+        merged.after_check += stats.after_check
+        merged.after_nn += stats.after_nn
+        merged.verified += stats.verified
+        merged.matches += stats.matches
+        merged.sim_cache_hits += stats.sim_cache_hits
+        merged.sim_cache_misses += stats.sim_cache_misses
+        if stats.fallback_reason and not merged.fallback_reason:
+            merged.fallback_reason = stats.fallback_reason
+        for name, seconds in stats.stage_seconds.items():
+            merged.stage_seconds[name] = (
+                merged.stage_seconds.get(name, 0.0) + seconds
+            )
+    return merged
+
+
+@dataclass
+class ClusterPassStats:
+    """One cluster query's fan-out: routing verdict + merged funnel."""
+
+    #: How many shards the cluster holds.
+    shards_total: int = 0
+    #: Shards the router actually queried.
+    shards_routed: int = 0
+    #: Shards skipped by the summary intersection (provably empty).
+    shards_skipped: int = 0
+    #: Shard-summed funnel counters and stage timings.
+    merged: PassStats = field(default_factory=PassStats)
+    #: (shard index, that shard's PassStats) for every routed shard.
+    per_shard: list = field(default_factory=list)
+
+    @classmethod
+    def from_shards(
+        cls, shards_total: int, per_shard: list
+    ) -> "ClusterPassStats":
+        """Assemble from the routed shards' (index, PassStats) pairs."""
+        return cls(
+            shards_total=shards_total,
+            shards_routed=len(per_shard),
+            shards_skipped=shards_total - len(per_shard),
+            merged=merge_pass_stats([stats for _, stats in per_shard]),
+            per_shard=per_shard,
+        )
+
+
+@dataclass
+class ClusterStats(ServiceStats):
+    """Lifetime counters for one :class:`~repro.cluster.SilkMothCluster`.
+
+    Everything a :class:`~repro.service.stats.ServiceStats` tracks,
+    plus routing efficiency and rebalancing activity.
+    """
+
+    #: Sum of shards queried across every fanned-out query.
+    shards_routed_total: int = 0
+    #: Sum of shards skipped by summary routing.
+    shards_skipped_total: int = 0
+    #: Queries that had to touch every shard (no routing win).
+    broadcasts: int = 0
+    #: Sets moved between shards by :meth:`SilkMothCluster.compact`.
+    rebalance_moves: int = 0
+
+    def record_routing(self, pass_stats: ClusterPassStats) -> None:
+        """Fold one query's fan-out verdict into the lifetime counters."""
+        self.shards_routed_total += pass_stats.shards_routed
+        self.shards_skipped_total += pass_stats.shards_skipped
+        if pass_stats.shards_total and (
+            pass_stats.shards_routed == pass_stats.shards_total
+        ):
+            self.broadcasts += 1
+
+    @property
+    def shard_skip_rate(self) -> float:
+        """Fraction of shard fan-outs the router avoided."""
+        considered = self.shards_routed_total + self.shards_skipped_total
+        return self.shards_skipped_total / considered if considered else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (cluster manifests / CLI)."""
+        payload = super().to_dict()
+        payload["shards_routed_total"] = self.shards_routed_total
+        payload["shards_skipped_total"] = self.shards_skipped_total
+        payload["broadcasts"] = self.broadcasts
+        payload["rebalance_moves"] = self.rebalance_moves
+        payload["shard_skip_rate"] = round(self.shard_skip_rate, 4)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterStats":
+        """Rebuild lifetime counters from :meth:`to_dict` output."""
+        stats = cls()
+        base = ServiceStats.from_dict(payload)
+        for name in base.__dataclass_fields__:
+            if name == "query_latencies":
+                continue
+            setattr(stats, name, getattr(base, name))
+        for name in (
+            "shards_routed_total",
+            "shards_skipped_total",
+            "broadcasts",
+            "rebalance_moves",
+        ):
+            value = payload.get(name, 0)
+            if isinstance(value, int) and not isinstance(value, bool):
+                setattr(stats, name, value)
+        return stats

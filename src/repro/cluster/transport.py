@@ -1,0 +1,311 @@
+"""Shard transports: how the coordinator reaches its shards.
+
+Three implementations of one tiny submit/collect protocol:
+
+``inline``
+    The shard lives in the coordinator's process.  Zero overhead, no
+    parallelism -- the default, and what the exactness property tests
+    exercise (the other transports run the byte-identical
+    :class:`~repro.cluster.shard.ShardHost` code).
+
+``process``
+    One worker process per shard, connected over a
+    :func:`multiprocessing.Pipe`.  Shard passes run truly in parallel
+    (one GIL per worker), which is what the trajectory harness's
+    sharded-discovery workload measures.
+
+``socket``
+    One worker process per shard, connected through an authenticated
+    localhost TCP socket (:mod:`multiprocessing.connection`).  Same
+    worker loop as ``process``; the point is that nothing in the
+    protocol assumes shared memory, so the socket pair is the template
+    for shards on *other machines* -- point the client at a remote
+    listener and the coordinator code does not change.
+
+The fan-out idiom is pipelined: the coordinator ``submit``\\ s to every
+routed shard first and only then ``collect``\\ s, so worker shards
+compute concurrently.  Each transport owns exactly one shard;
+request/response pairs are strictly ordered per transport, which keeps
+the protocol trivial (no request ids).
+
+Errors raised inside a worker travel back as a formatted traceback and
+re-raise coordinator-side as :class:`ShardTransportError` -- a shard
+failure must never silently shrink a result set.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import traceback
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Sequence
+
+from repro.cluster.shard import ShardHost
+from repro.core.config import SilkMothConfig
+
+#: Environment variable naming the default transport.
+TRANSPORT_ENV_VAR = "SILKMOTH_CLUSTER_TRANSPORT"
+
+#: Recognised transport names.
+KNOWN_TRANSPORTS = ("inline", "process", "socket")
+
+
+class ShardTransportError(RuntimeError):
+    """A shard worker raised while handling a command."""
+
+
+def resolve_transport_name(name: str | None) -> str:
+    """Resolve the transport knob: explicit value, env var, inline."""
+    if name is None:
+        name = os.environ.get(TRANSPORT_ENV_VAR) or "inline"
+    if name not in KNOWN_TRANSPORTS:
+        raise ValueError(
+            f"unknown cluster transport {name!r}; known: "
+            f"{', '.join(KNOWN_TRANSPORTS)}"
+        )
+    return name
+
+
+class ShardTransport(abc.ABC):
+    """One shard endpoint speaking the submit/collect protocol."""
+
+    @abc.abstractmethod
+    def submit(self, command: str, payload: tuple) -> None:
+        """Dispatch one command without waiting for its result."""
+
+    @abc.abstractmethod
+    def collect(self):
+        """Return the result of the oldest un-collected ``submit``."""
+
+    def request(self, command: str, payload: tuple = ()):
+        """Convenience round-trip: submit then collect."""
+        self.submit(command, payload)
+        return self.collect()
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Shut the shard down and release its resources."""
+
+
+class InlineTransport(ShardTransport):
+    """The shard host running inside the coordinator's process."""
+
+    def __init__(
+        self,
+        config: SilkMothConfig,
+        raw_sets: Sequence[Sequence[str]] = (),
+        deleted: Sequence[int] = (),
+        compact_dead_fraction: float = 0.25,
+    ):
+        self.host = ShardHost(
+            config, raw_sets, deleted, compact_dead_fraction
+        )
+        self._pending: list = []
+
+    def submit(self, command: str, payload: tuple) -> None:
+        """Execute immediately (inline shards have no concurrency)."""
+        try:
+            self._pending.append((True, self.host.handle(command, payload)))
+        except Exception as exc:  # noqa: BLE001 - mirrored to the caller
+            self._pending.append(
+                (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            )
+
+    def collect(self):
+        """Pop the oldest submitted result (raising mirrored errors)."""
+        ok, value = self._pending.pop(0)
+        if not ok:
+            raise ShardTransportError(value)
+        return value
+
+    def close(self) -> None:
+        """Nothing to release for an in-process shard."""
+        self._pending.clear()
+
+
+def _worker_loop(conn: Connection) -> None:
+    """The worker-side command loop shared by process and socket shards.
+
+    Protocol: first message is the ``(config, raw_sets, deleted,
+    compact_dead_fraction)`` construction tuple; afterwards each
+    ``(command, payload)`` message yields one ``(ok, value)`` reply,
+    where a False ``ok`` carries the formatted traceback.  The loop
+    exits on the ``"close"`` command or a closed connection.
+    """
+    config, raw_sets, deleted, compact_dead_fraction = conn.recv()
+    try:
+        host = ShardHost(config, raw_sets, deleted, compact_dead_fraction)
+        conn.send((True, "ready"))
+    except Exception as exc:  # noqa: BLE001 - mirrored to the coordinator
+        conn.send((False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+        return
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            return
+        if command == "close":
+            conn.send((True, None))
+            return
+        try:
+            conn.send((True, host.handle(command, payload)))
+        except Exception as exc:  # noqa: BLE001 - mirrored to the coordinator
+            conn.send(
+                (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            )
+
+
+class _RemoteTransport(ShardTransport):
+    """Shared plumbing for the worker-process transports."""
+
+    def __init__(self) -> None:
+        self._conn: Connection | None = None
+        self._process: multiprocessing.Process | None = None
+        self._outstanding = 0
+
+    def _handshake(
+        self,
+        config: SilkMothConfig,
+        raw_sets: Sequence[Sequence[str]],
+        deleted: Sequence[int],
+        compact_dead_fraction: float,
+    ) -> None:
+        """Ship the construction tuple and wait for the ready reply."""
+        self._conn.send(
+            (
+                config,
+                tuple(tuple(elements) for elements in raw_sets),
+                tuple(deleted),
+                compact_dead_fraction,
+            )
+        )
+        ok, value = self._conn.recv()
+        if not ok:
+            raise ShardTransportError(f"shard worker failed to start: {value}")
+
+    def submit(self, command: str, payload: tuple) -> None:
+        """Send one command; the worker replies in submission order."""
+        self._conn.send((command, payload))
+        self._outstanding += 1
+
+    def collect(self):
+        """Receive the oldest outstanding reply (raising mirrored errors)."""
+        if self._outstanding <= 0:
+            raise ShardTransportError("collect() without a pending submit()")
+        self._outstanding -= 1
+        ok, value = self._conn.recv()
+        if not ok:
+            raise ShardTransportError(value)
+        return value
+
+    def close(self) -> None:
+        """Ask the worker to exit, then reap the process."""
+        if self._conn is None:
+            return
+        try:
+            # Drain anything outstanding so the close reply pairs up.
+            while self._outstanding > 0:
+                self.collect()
+            self._conn.send(("close", ()))
+            self._conn.recv()
+        except (OSError, EOFError, BrokenPipeError, ShardTransportError):
+            pass
+        finally:
+            self._conn.close()
+            self._conn = None
+            if self._process is not None:
+                self._process.join(timeout=5)
+                if self._process.is_alive():  # pragma: no cover - safety net
+                    self._process.terminate()
+                    self._process.join(timeout=5)
+                self._process = None
+
+
+class ProcessTransport(_RemoteTransport):
+    """One worker process per shard over a duplex pipe."""
+
+    def __init__(
+        self,
+        config: SilkMothConfig,
+        raw_sets: Sequence[Sequence[str]] = (),
+        deleted: Sequence[int] = (),
+        compact_dead_fraction: float = 0.25,
+    ):
+        super().__init__()
+        parent, child = multiprocessing.Pipe()
+        self._process = multiprocessing.Process(
+            target=_worker_loop, args=(child,), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self._conn = parent
+        self._handshake(config, raw_sets, deleted, compact_dead_fraction)
+
+
+def _socket_worker(address, authkey: bytes) -> None:
+    """Worker entry point for the socket transport: dial back and serve."""
+    conn = Client(address, authkey=authkey)
+    try:
+        _worker_loop(conn)
+    finally:
+        conn.close()
+
+
+class SocketTransport(_RemoteTransport):
+    """One worker process per shard over an authenticated local socket.
+
+    The listener binds an ephemeral ``127.0.0.1`` port and the worker
+    dials back; every byte then flows through the same
+    :mod:`multiprocessing.connection` channel a remote machine would
+    use, which is the point of shipping this transport at all.
+    """
+
+    def __init__(
+        self,
+        config: SilkMothConfig,
+        raw_sets: Sequence[Sequence[str]] = (),
+        deleted: Sequence[int] = (),
+        compact_dead_fraction: float = 0.25,
+    ):
+        super().__init__()
+        authkey = multiprocessing.current_process().authkey
+        listener = Listener(("127.0.0.1", 0), authkey=bytes(authkey))
+        try:
+            self._process = multiprocessing.Process(
+                target=_socket_worker,
+                args=(listener.address, bytes(authkey)),
+                daemon=True,
+            )
+            self._process.start()
+            self._conn = listener.accept()
+        finally:
+            listener.close()
+        self._handshake(config, raw_sets, deleted, compact_dead_fraction)
+
+
+#: Transport name -> constructor.
+_TRANSPORTS = {
+    "inline": InlineTransport,
+    "process": ProcessTransport,
+    "socket": SocketTransport,
+}
+
+
+def make_transport(
+    name: str,
+    config: SilkMothConfig,
+    raw_sets: Sequence[Sequence[str]] = (),
+    deleted: Sequence[int] = (),
+    compact_dead_fraction: float = 0.25,
+) -> ShardTransport:
+    """Construct one shard behind the named transport."""
+    try:
+        factory = _TRANSPORTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster transport {name!r}; known: "
+            f"{', '.join(KNOWN_TRANSPORTS)}"
+        ) from None
+    return factory(config, raw_sets, deleted, compact_dead_fraction)

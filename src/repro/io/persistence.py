@@ -27,8 +27,36 @@ with its live-set membership and counters intact::
       "service": {"generation": 7, ...}
     }
 
-``load_collection`` reads both versions (tombstones are re-applied);
-``load_service_snapshot`` additionally returns the metadata and can
+Version 3 (shard snapshot) is a version-2 snapshot plus the shard's
+place in a cluster -- its index, its local-to-global id map and its
+shard-local write generation -- so one shard file is self-describing
+and a whole cluster is a manifest plus N shard files::
+
+    {
+      ...same fields as version 2...,
+      "version": 3,
+      "shard": {"shard_index": 0, "local_to_global": [...],
+                "generation": 4}
+    }
+
+The cluster manifest is a separate, tiny format
+(``silkmoth-cluster`` version 1): it names the shard files (relative
+to the manifest) and carries the coordinator's state -- the global
+placement table, global tombstones and lifetime stats::
+
+    {
+      "format": "silkmoth-cluster",
+      "version": 1,
+      "similarity": "jaccard",
+      "q": 1,
+      "shards": ["name-shard0.json", ...],
+      "cluster": {"placement": [[shard, local], ...],
+                  "deleted": [...], "generation": 9, ...}
+    }
+
+``load_collection`` reads every collection version (tombstones are
+re-applied; shard metadata is ignored); ``load_service_snapshot`` /
+``load_shard_snapshot`` additionally return the metadata and can
 enforce expected tokenizer settings.
 """
 
@@ -47,6 +75,12 @@ FORMAT_NAME = "silkmoth-collection"
 FORMAT_VERSION = 1
 #: Service snapshot schema version (adds tombstones + metadata).
 SERVICE_FORMAT_VERSION = 2
+#: Shard snapshot schema version (adds cluster-shard metadata).
+SHARD_FORMAT_VERSION = 3
+#: Magic string identifying cluster manifests.
+CLUSTER_FORMAT_NAME = "silkmoth-cluster"
+#: Cluster manifest schema version.
+CLUSTER_FORMAT_VERSION = 1
 
 
 def _write_payload(path: str | Path, payload: dict) -> None:
@@ -115,11 +149,15 @@ def _read_payload(path: str | Path) -> dict:
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
         raise ValueError(f"{path}: not a {FORMAT_NAME} snapshot")
     version = payload.get("version")
-    if version not in (FORMAT_VERSION, SERVICE_FORMAT_VERSION):
+    if version not in (
+        FORMAT_VERSION,
+        SERVICE_FORMAT_VERSION,
+        SHARD_FORMAT_VERSION,
+    ):
         raise ValueError(
             f"{path}: unsupported snapshot version {version!r} "
-            f"(this build reads versions {FORMAT_VERSION} "
-            f"and {SERVICE_FORMAT_VERSION})"
+            f"(this build reads versions {FORMAT_VERSION}, "
+            f"{SERVICE_FORMAT_VERSION} and {SHARD_FORMAT_VERSION})"
         )
     return payload
 
@@ -189,3 +227,113 @@ def load_service_snapshot(
     if not isinstance(metadata, dict):
         raise ValueError(f"{path}: 'service' metadata must be an object")
     return collection, metadata
+
+
+# ----------------------------------------------------------------------
+# Version 3: shard snapshots and the cluster manifest
+# ----------------------------------------------------------------------
+def save_shard_snapshot(
+    path: str | Path,
+    kind: SimilarityKind,
+    q: int,
+    sets: list,
+    deleted: list,
+    shard_meta: dict,
+) -> None:
+    """Write a version-3 shard snapshot from raw shard state.
+
+    Unlike :func:`save_service_snapshot` this takes raw element-string
+    sets rather than a tokenised collection: the cluster coordinator
+    holds raw texts (its directory) and must not pay a full
+    re-tokenisation just to snapshot a shard.  *deleted* holds the
+    shard-local tombstoned ids; *shard_meta* is the cluster-shard
+    descriptor (shard index, local-to-global map, shard generation).
+    """
+    payload = {
+        "format": FORMAT_NAME,
+        "version": SHARD_FORMAT_VERSION,
+        "similarity": kind.value,
+        "q": q,
+        "sets": [list(elements) for elements in sets],
+        "deleted": sorted(deleted),
+        "service": {},
+        "shard": shard_meta,
+    }
+    _write_payload(path, payload)
+
+
+def load_shard_snapshot(
+    path: str | Path,
+    expected_kind: SimilarityKind | None = None,
+    expected_q: int | None = None,
+) -> tuple[SetCollection, dict]:
+    """Read a version-3 snapshot: (collection with tombstones, shard meta).
+
+    Lower-version files load too (empty shard metadata), so a cluster
+    can adopt a plain dataset or single-node service snapshot as a
+    one-shard starting point.  Tokenizer expectations behave as in
+    :func:`load_service_snapshot`.
+    """
+    collection, _ = load_service_snapshot(
+        path, expected_kind=expected_kind, expected_q=expected_q
+    )
+    payload = _read_payload(path)
+    shard_meta = payload.get("shard", {})
+    if not isinstance(shard_meta, dict):
+        raise ValueError(f"{path}: 'shard' metadata must be an object")
+    return collection, shard_meta
+
+
+def save_cluster_manifest(
+    path: str | Path,
+    kind: SimilarityKind,
+    q: int,
+    shard_files: list,
+    metadata: dict,
+) -> None:
+    """Write a cluster manifest naming its shard files.
+
+    *shard_files* are stored relative to the manifest's directory so
+    the whole bundle moves as one unit; *metadata* carries the
+    coordinator state (placement, global tombstones, generation,
+    stats).
+    """
+    payload = {
+        "format": CLUSTER_FORMAT_NAME,
+        "version": CLUSTER_FORMAT_VERSION,
+        "similarity": kind.value,
+        "q": q,
+        "shards": [str(name) for name in shard_files],
+        "cluster": metadata,
+    }
+    _write_payload(path, payload)
+
+
+def load_cluster_manifest(path: str | Path) -> dict:
+    """Read and structurally validate a cluster manifest.
+
+    Returns the raw payload dict (``similarity``/``q`` parsed and
+    re-validated by the caller against its config); shard files are
+    not opened here.
+    """
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != CLUSTER_FORMAT_NAME:
+        raise ValueError(f"{path}: not a {CLUSTER_FORMAT_NAME} manifest")
+    if payload.get("version") != CLUSTER_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported manifest version "
+            f"{payload.get('version')!r} (this build reads version "
+            f"{CLUSTER_FORMAT_VERSION})"
+        )
+    shards = payload.get("shards")
+    if not isinstance(shards, list) or not all(
+        isinstance(name, str) for name in shards
+    ):
+        raise ValueError(f"{path}: 'shards' must be a list of file names")
+    if not isinstance(payload.get("cluster", {}), dict):
+        raise ValueError(f"{path}: 'cluster' metadata must be an object")
+    return payload

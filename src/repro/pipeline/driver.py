@@ -6,8 +6,11 @@ match itself, and under the symmetric SET-SIMILARITY metric each
 unordered pair is reported exactly once.  Those rules live here and
 only here: the serial engine, :mod:`repro.core.parallel`,
 :mod:`repro.core.partitioned` and the service's batch fan-out all call
-:func:`search_rows`, so the pair semantics cannot drift apart across
-drivers (none of them re-implements any part of the funnel).
+:func:`search_rows`, and the cluster coordinator -- whose passes run
+on remote shards, outside any one engine -- applies the same
+:func:`keep_discovery_pair` predicate to its merged rows, so the pair
+semantics cannot drift apart across drivers (none of them
+re-implements any part of the funnel).
 """
 
 from __future__ import annotations
@@ -22,6 +25,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: One discovery row: (reference_id, set_id, score, relatedness).
 Row = tuple[int, int, float, float]
+
+
+def keep_discovery_pair(
+    reference_id: int, set_id: int, *, self_mode: bool, symmetric: bool
+) -> bool:
+    """Whether discovery reports the (reference, set) pair (Section 3).
+
+    In self-discovery the self pair is dropped, and under a symmetric
+    metric each unordered pair is kept only from the smaller reference
+    id (the other direction finds it with the roles swapped).  Ids are
+    in the *global* numbering, whatever driver produced the row.
+    """
+    if self_mode and set_id == reference_id:
+        return False
+    if self_mode and symmetric and set_id < reference_id:
+        return False
+    return True
 
 
 def search_rows(
@@ -56,7 +76,9 @@ def search_rows(
     rows: list[Row] = []
     for result in engine.search(reference, skip_set=skip):
         set_id = result.set_id + id_offset
-        if self_mode and symmetric and set_id < reference_id:
+        if not keep_discovery_pair(
+            reference_id, set_id, self_mode=self_mode, symmetric=symmetric
+        ):
             continue  # reported when the roles were swapped
         rows.append((reference_id, set_id, result.score, result.relatedness))
     return rows

@@ -101,6 +101,23 @@ class IndexProfile:
             max_list_length=max_list,
         )
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IndexProfile":
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        The cluster coordinator receives shard profiles as JSON over
+        its transports (a remote shard cannot hand back a live object);
+        this is the inverse that lets it merge them.
+        """
+        return cls(
+            live_sets=int(payload["live_sets"]),
+            total_elements=int(payload["total_elements"]),
+            distinct_tokens=int(payload["distinct_tokens"]),
+            total_postings=int(payload["total_postings"]),
+            mean_list_length=float(payload["mean_list_length"]),
+            max_list_length=int(payload["max_list_length"]),
+        )
+
     @property
     def skew(self) -> float:
         """Posting-list skew ``max / mean`` (1.0 for uniform lists)."""
@@ -119,6 +136,32 @@ class IndexProfile:
             "max_list_length": self.max_list_length,
             "skew": round(self.skew, 3),
         }
+
+
+def merge_profiles(profiles: "list[IndexProfile]") -> IndexProfile:
+    """Sum per-shard profiles into one cluster-level view.
+
+    Sets, elements and postings add exactly.  ``distinct_tokens`` adds
+    too, which over-counts tokens indexed by several shards -- the
+    merged value is an upper bound, good enough for the coarse
+    size/skew heuristics this module feeds (each shard still plans
+    itself against its own exact profile).  ``max_list_length`` is the
+    per-shard maximum, i.e. the longest *single-shard* posting list --
+    the probe cost a query can actually meet, since no probe ever scans
+    one token's lists across shards as one list.
+    """
+    if not profiles:
+        raise ValueError("merge_profiles needs at least one profile")
+    distinct = sum(profile.distinct_tokens for profile in profiles)
+    postings = sum(profile.total_postings for profile in profiles)
+    return IndexProfile(
+        live_sets=sum(profile.live_sets for profile in profiles),
+        total_elements=sum(profile.total_elements for profile in profiles),
+        distinct_tokens=distinct,
+        total_postings=postings,
+        mean_list_length=postings / distinct if distinct else 0.0,
+        max_list_length=max(profile.max_list_length for profile in profiles),
+    )
 
 
 @dataclass(frozen=True)

@@ -233,8 +233,10 @@ class SilkMothService:
     def _search_cold(self, elements: Sequence[str]) -> list[SearchResult]:
         reference = self._make_reference(elements)
         results, pass_stats = self.engine.search_with_stats(reference)
-        self.stats.sim_cache_hits += pass_stats.sim_cache_hits
-        self.stats.sim_cache_misses += pass_stats.sim_cache_misses
+        # Besides the memo counters this accumulates per-stage /
+        # per-backend wall clock, which export_cost_profile() can turn
+        # into planner calibration.
+        self.stats.record_pass(pass_stats)
         return results
 
     def search(self, elements: Sequence[str]) -> list[SearchResult]:

@@ -8,12 +8,28 @@ and per-query wall-clock latency.  A cache hit increments ``queries``
 and ``cache_hits`` but adds nothing to the engine's ``RunStats`` --
 which is exactly how tests assert that hot references skip the
 signature/filter/verify pipeline entirely.
+
+Live traffic doubles as planner calibration: every cold pass's
+per-stage wall clock is accumulated per compute backend
+(:meth:`ServiceStats.record_pass`), and
+:meth:`ServiceStats.export_cost_profile` writes the totals as a
+``SILKMOTH_COST_PROFILE``-compatible file -- the first cut of feeding
+served traffic back into re-planning without an offline harness run
+(see :func:`repro.planner.cost.load_measured_costs`).
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.stats import PassStats
+
+#: Schema identifier written by :meth:`ServiceStats.export_cost_profile`.
+COST_PROFILE_SCHEMA = "silkmoth-cost-profile/1"
 
 #: How many recent per-query latencies the sliding window keeps.  The
 #: lifetime totals are tracked separately, so the window can stay small
@@ -60,6 +76,13 @@ class ServiceStats:
     sim_cache_misses: int = 0
     #: Lifetime sum of per-query wall-clock seconds (hits and misses).
     query_seconds_total: float = 0.0
+    #: Per-stage pipeline seconds accumulated across cold passes
+    #: (keys as in :attr:`repro.core.stats.PassStats.stage_seconds`).
+    stage_seconds: dict = field(default_factory=dict)
+    #: Per-backend pass accounting: backend name ->
+    #: ``{"seconds": total, "passes": count}`` -- the raw material of
+    #: :meth:`export_cost_profile`.
+    backend_seconds: dict = field(default_factory=dict)
     #: Sliding window of the most recent per-query latencies; bounded so
     #: a long-lived service's memory does not grow with traffic.
     query_latencies: deque = field(
@@ -102,6 +125,76 @@ class ServiceStats:
         self.query_seconds_total += latency
         self.query_latencies.append(latency)
 
+    def record_pass(self, pass_stats: PassStats) -> None:
+        """Fold one cold pipeline pass's :class:`PassStats` in.
+
+        Accumulates the similarity-memo counters, the per-stage wall
+        clock, and the per-backend totals that
+        :meth:`export_cost_profile` turns into planner calibration.
+        """
+        self.sim_cache_hits += pass_stats.sim_cache_hits
+        self.sim_cache_misses += pass_stats.sim_cache_misses
+        pass_seconds = 0.0
+        for name, seconds in pass_stats.stage_seconds.items():
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+            pass_seconds += seconds
+        if pass_stats.backend:
+            entry = self.backend_seconds.setdefault(
+                pass_stats.backend, {"seconds": 0.0, "passes": 0}
+            )
+            entry["seconds"] += pass_seconds
+            entry["passes"] += 1
+
+    def export_cost_profile(self, path: "str | os.PathLike") -> dict:
+        """Write accumulated live timings as planner calibration.
+
+        The output parses through
+        :func:`repro.planner.cost.load_measured_costs`, i.e. it can be
+        pointed at by ``SILKMOTH_COST_PROFILE`` exactly like a
+        ``tools/bench_trajectory.py`` file.  Each backend's ``seconds``
+        entry is the *mean per pass* -- lifetime totals would compare
+        traffic volume, not speed, when a service re-planned between
+        backends.  A profile from a single backend loads fine but
+        carries no comparative signal (the planner needs measurements
+        for at least two backends to override its heuristics).
+
+        Raises
+        ------
+        ValueError
+            If no cold pass has been recorded yet -- an empty
+            calibration file must not exist.
+        """
+        if not self.backend_seconds:
+            raise ValueError(
+                "no pipeline passes recorded; serve at least one cold "
+                "query before exporting a cost profile"
+            )
+        backends = {}
+        for name, entry in sorted(self.backend_seconds.items()):
+            backends[name] = {
+                "seconds": round(entry["seconds"] / entry["passes"], 6),
+                "seconds_total": round(entry["seconds"], 6),
+                "passes": entry["passes"],
+            }
+        payload = {
+            "schema": COST_PROFILE_SCHEMA,
+            "source": "live-service-traffic",
+            "calibration": {
+                "workloads": ["live_service_traffic"],
+                "backends": backends,
+            },
+            "stage_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stage_seconds.items())
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return payload
+
     def to_dict(self) -> dict:
         """JSON-serialisable summary (service snapshot metadata / CLI)."""
         payload = {name: getattr(self, name) for name in _COUNTER_FIELDS}
@@ -110,6 +203,13 @@ class ServiceStats:
         payload["mutations"] = self.mutations
         payload["query_seconds_total"] = self.query_seconds_total
         payload["mean_query_seconds"] = self.mean_query_seconds
+        payload["stage_seconds"] = {
+            name: seconds for name, seconds in sorted(self.stage_seconds.items())
+        }
+        payload["backend_seconds"] = {
+            name: dict(entry)
+            for name, entry in sorted(self.backend_seconds.items())
+        }
         return payload
 
     @classmethod
@@ -127,4 +227,30 @@ class ServiceStats:
         total = payload.get("query_seconds_total", 0.0)
         if isinstance(total, (int, float)) and not isinstance(total, bool):
             stats.query_seconds_total = float(total)
+        stage = payload.get("stage_seconds")
+        if isinstance(stage, dict):
+            stats.stage_seconds = {
+                str(name): float(seconds)
+                for name, seconds in stage.items()
+                if isinstance(seconds, (int, float))
+                and not isinstance(seconds, bool)
+            }
+        backends = payload.get("backend_seconds")
+        if isinstance(backends, dict):
+            for name, entry in backends.items():
+                if not isinstance(entry, dict):
+                    continue
+                seconds = entry.get("seconds", 0.0)
+                passes = entry.get("passes", 0)
+                if (
+                    isinstance(seconds, (int, float))
+                    and not isinstance(seconds, bool)
+                    and isinstance(passes, int)
+                    and not isinstance(passes, bool)
+                    and passes > 0
+                ):
+                    stats.backend_seconds[str(name)] = {
+                        "seconds": float(seconds),
+                        "passes": passes,
+                    }
         return stats

@@ -65,12 +65,31 @@ class TestTrajectory:
         assert token["baseline"]["matches"] == token["optimized"]["matches"]
         assert payload["calibration"]["backends"]["python"]["seconds"] > 0
 
+    def test_tiny_run_includes_sharded_discovery_entry(self):
+        payload = run_trajectory(scale=0.05, backends=("python",))
+        entry = payload["workloads"]["cluster_discover"]
+        # Exactness pin: the cluster found the same related pairs.
+        assert entry["optimized"]["matches"] == entry["baseline"]["matches"]
+        assert entry["optimized"]["verified"] == entry["baseline"]["verified"]
+        # One wall-clock point per measured worker count, each with its
+        # busiest-shard critical path.
+        assert entry["workers"]
+        for point in entry["workers"].values():
+            assert point["seconds"] > 0
+            assert point["max_shard_seconds"] >= 0
+        assert entry["optimized"]["workers"] == max(
+            int(count) for count in entry["workers"]
+        )
+        assert payload["cpus"] >= 1
+        assert "workers:" in format_trajectory(payload)
+
     def test_write_trajectory_round_trips(self, tmp_path):
         path = tmp_path / "BENCH_test.json"
         payload = write_trajectory(path, scale=0.05, backends=("python",))
         on_disk = json.loads(path.read_text())
         assert on_disk["schema"] == payload["schema"]
         assert "edit_verify" in on_disk["workloads"]
+        assert "cluster_discover" in on_disk["workloads"]
         assert "python" in format_trajectory(on_disk)
 
 

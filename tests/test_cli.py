@@ -400,3 +400,82 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         rows = [line.split("\t") for line in out.strip().splitlines()[1:]]
         assert all(row[1] != "0" for row in rows)
+
+
+class TestClusterCommands:
+    def _manifest(self, titles, tmp_path, extra=()):
+        path = tmp_path / "cluster.json"
+        code = main(
+            ["cluster", "shard", str(titles), "--shards", "2", "--delta",
+             "0.5", "--quiet", "--output", str(path), *extra]
+        )
+        assert code == 0
+        return path
+
+    def test_shard_writes_manifest_and_shard_files(self, titles, tmp_path):
+        path = self._manifest(titles, tmp_path)
+        assert path.exists()
+        assert (tmp_path / "cluster-shard0.json").exists()
+        assert (tmp_path / "cluster-shard1.json").exists()
+
+    def test_info_describes_cluster(self, titles, tmp_path, capsys):
+        path = self._manifest(titles, tmp_path, extra=["--remove", "2"])
+        assert main(["cluster", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "shards:       2" in out
+        assert "live sets:    2" in out
+        assert "routing:      summary intersection" in out
+        assert "shard 0:" in out and "shard 1:" in out
+
+    def test_query_serves_batch_with_routing_stats(
+        self, titles, tmp_path, capsys
+    ):
+        path = self._manifest(titles, tmp_path)
+        code = main(
+            ["cluster", "query", str(path), "--references", str(titles),
+             "--delta", "0.5", "--repeat", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("reference\tset\tscore\trelatedness")
+        assert "cache hit rate" in captured.err
+        assert "routed" in captured.err and "skipped" in captured.err
+
+    def test_query_matches_single_node_service(
+        self, titles, tmp_path, capsys
+    ):
+        cluster_manifest = self._manifest(titles, tmp_path)
+        code = main(
+            ["cluster", "query", str(cluster_manifest), "--references",
+             str(titles), "--delta", "0.5", "--quiet"]
+        )
+        assert code == 0
+        cluster_out = capsys.readouterr().out
+        snapshot = tmp_path / "service.json"
+        assert main(
+            ["service", "snapshot", str(titles), "--delta", "0.5",
+             "--quiet", "--output", str(snapshot)]
+        ) == 0
+        code = main(
+            ["service", "query", str(snapshot), "--references", str(titles),
+             "--delta", "0.5", "--quiet"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == cluster_out
+
+    def test_query_rejects_mismatched_similarity(self, titles, tmp_path, capsys):
+        path = self._manifest(titles, tmp_path)
+        code = main(
+            ["cluster", "query", str(path), "--references", str(titles),
+             "--sim", "eds", "--alpha", "0.8"]
+        )
+        assert code == 2
+        assert "tokenised for 'jaccard'" in capsys.readouterr().err
+
+    def test_shard_rejects_bad_remove_id(self, titles, tmp_path, capsys):
+        code = main(
+            ["cluster", "shard", str(titles), "--remove", "99",
+             "--output", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err

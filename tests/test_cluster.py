@@ -1,0 +1,344 @@
+"""Cluster exactness: shard + route + merge equals the single node.
+
+The tentpole claim in test form: a :class:`repro.SilkMothCluster` is
+observably identical to the single-node engine/service on the same
+data -- for any dataset, configuration and shard count, under search,
+discovery *and* arbitrary mutation sequences, on every compute
+backend.  Scores are compared exactly (not approximately): shard
+passes run the very same pipeline kernels on the very same element
+pairs, so even the floats must agree bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import available_backends
+from repro.cluster import SilkMothCluster
+from repro.core.engine import SilkMoth
+from repro.core.records import SetCollection
+from repro.service import SilkMothService
+from strategies import (
+    collections,
+    edit_configs,
+    string_collections,
+    string_sets,
+    token_configs,
+    token_sets,
+)
+
+BACKENDS = [
+    pytest.param(
+        name,
+        marks=()
+        if name in available_backends()
+        else pytest.mark.skip(reason=f"{name} backend unavailable"),
+    )
+    for name in ("python", "numpy")
+]
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _single_node_search(sets, reference_elements, config):
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    engine = SilkMoth(collection, config)
+    reference = collection.query_set(reference_elements)
+    return engine.search(reference)
+
+
+def _assert_cluster_matches_engine(sets, reference_elements, config, shards):
+    expected = _single_node_search(sets, reference_elements, config)
+    with SilkMothCluster.from_sets(sets, config, shards=shards) as cluster:
+        got = cluster.search(reference_elements)
+    assert [(r.set_id, r.score, r.relatedness) for r in got] == [
+        (r.set_id, r.score, r.relatedness) for r in expected
+    ]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(
+    sets=collections(min_sets=1, max_sets=7),
+    reference=token_sets(),
+    config=token_configs(),
+    shards=st.integers(min_value=1, max_value=4),
+)
+@_SETTINGS
+def test_cluster_search_identity_token_kinds(
+    backend_name, sets, reference, config, shards
+):
+    """Token-kind cluster search == single-node search, bit for bit."""
+    _assert_cluster_matches_engine(
+        sets, reference, replace(config, backend=backend_name), shards
+    )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(
+    sets=string_collections(min_sets=1, max_sets=5),
+    reference=string_sets(),
+    config=edit_configs(),
+    shards=st.integers(min_value=1, max_value=3),
+)
+@_SETTINGS
+def test_cluster_search_identity_edit_kinds(
+    backend_name, sets, reference, config, shards
+):
+    """Edit-kind cluster search == single-node search, for every q.
+
+    Out-of-constraint q values are included: routing then degrades to
+    broadcast (no pair certificate) and must still be exact.
+    """
+    _assert_cluster_matches_engine(
+        sets, reference, replace(config, backend=backend_name), shards
+    )
+
+
+@given(
+    sets=collections(min_sets=1, max_sets=7),
+    config=token_configs(),
+    shards=st.integers(min_value=1, max_value=4),
+)
+@_SETTINGS
+def test_cluster_discovery_identity(sets, config, shards):
+    """Cluster self-discovery == engine self-discovery (rows + order)."""
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    expected = SilkMoth(collection, config).discover()
+    with SilkMothCluster.from_sets(sets, config, shards=shards) as cluster:
+        got = cluster.discover()
+    assert got == expected
+
+
+@given(
+    sets=string_collections(min_sets=1, max_sets=4),
+    config=edit_configs(),
+    shards=st.integers(min_value=1, max_value=3),
+)
+@_SETTINGS
+def test_cluster_discovery_identity_edit_kinds(sets, config, shards):
+    """Edit-kind cluster discovery == engine discovery, for every q."""
+    collection = SetCollection.from_strings(
+        sets, kind=config.similarity, q=config.effective_q
+    )
+    expected = SilkMoth(collection, config).discover()
+    with SilkMothCluster.from_sets(sets, config, shards=shards) as cluster:
+        got = cluster.discover()
+    assert got == expected
+
+
+#: One mutation step: add a set, remove by (index into live ids), or
+#: update likewise.  Indices are resolved against the live ids at
+#: application time so every generated program is valid by construction.
+_mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), token_sets()),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=30)),
+        st.tuples(
+            st.just("update"),
+            st.integers(min_value=0, max_value=30),
+            token_sets(),
+        ),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def _apply_mutations(target, mutations):
+    """Apply a mutation program, resolving indices to live ids."""
+    for step in mutations:
+        live = target.live_set_ids()
+        if step[0] == "add":
+            target.add_set(step[1])
+        elif step[0] == "remove":
+            if live:
+                target.remove_set(live[step[1] % len(live)])
+        else:
+            if live:
+                target.update_set(live[step[1] % len(live)], step[2])
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(
+    sets=collections(min_sets=1, max_sets=5),
+    mutations=_mutations,
+    reference=token_sets(),
+    config=token_configs(),
+    shards=st.integers(min_value=1, max_value=3),
+)
+@_SETTINGS
+def test_cluster_identity_under_mutation(
+    backend_name, sets, mutations, reference, config, shards
+):
+    """Same mutation program => same ids and same answers as the service."""
+    config = replace(config, backend=backend_name, scheme="dichotomy")
+    service = SilkMothService(config)
+    for elements in sets:
+        service.add_set(elements)
+    with SilkMothCluster.from_sets(sets, config, shards=shards) as cluster:
+        _apply_mutations(service, mutations)
+        _apply_mutations(cluster, mutations)
+        assert cluster.live_set_ids() == service.live_set_ids()
+        assert cluster.search(reference) == service.search(reference)
+        # Compaction + rebalancing must be observably invisible.
+        cluster.compact()
+        assert cluster.search(reference) == service.search(reference)
+
+
+def test_add_returns_global_ids_in_sequence():
+    """Global ids are append-only and match single-node numbering."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster(SilkMothConfig(), shards=3) as cluster:
+        assert cluster.add_set(["a b"]) == 0
+        assert cluster.add_set(["c d"]) == 1
+        assert cluster.remove_set(1) is None
+        assert cluster.add_set(["e"]) == 2
+        assert cluster.update_set(0, ["f"]) == 3
+        assert cluster.live_set_ids() == [2, 3]
+        assert cluster.total_sets == 4
+        assert len(cluster) == 2
+
+
+def test_mutating_dead_ids_raises():
+    """Removing/updating a tombstoned or unknown id is a KeyError."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster(SilkMothConfig(), shards=2) as cluster:
+        cluster.add_set(["a"])
+        cluster.remove_set(0)
+        with pytest.raises(KeyError):
+            cluster.remove_set(0)
+        with pytest.raises(KeyError):
+            cluster.update_set(0, ["b"])
+        with pytest.raises(KeyError):
+            cluster.remove_set(99)
+
+
+def test_empty_reference_answers_without_fanout():
+    """An empty reference returns [] and touches no shard."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster.from_sets(
+        [["a b"], ["c"]], SilkMothConfig(), shards=2
+    ) as cluster:
+        assert cluster.search([]) == []
+        assert cluster.last_pass.shards_routed == 0
+
+
+def test_cluster_cache_and_generation():
+    """Hot references hit the cluster cache; mutations invalidate it."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster.from_sets(
+        [["a b"], ["a c"]], SilkMothConfig(delta=0.3), shards=2
+    ) as cluster:
+        first = cluster.search(["a b"])
+        assert cluster.stats.cache_misses == 1
+        again = cluster.search(["a b"])
+        assert again == first
+        assert cluster.stats.cache_hits == 1
+        cluster.add_set(["a b"])
+        after = cluster.search(["a b"])
+        assert cluster.stats.cache_misses == 2
+        assert len(after) == len(first) + 1
+
+
+def test_search_many_deduplicates_and_caches():
+    """Batch answers mirror the service's dedup/cache accounting."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster.from_sets(
+        [["a b"], ["a c"], ["d"]], SilkMothConfig(delta=0.3), shards=2
+    ) as cluster:
+        batch = [["a b"], ["a b"], ["d"]]
+        answers = cluster.search_many(batch)
+        assert answers[0] == answers[1]
+        assert cluster.stats.batch_queries_deduplicated == 1
+        assert cluster.stats.batches == 1
+        again = cluster.search_many(batch)
+        assert again == answers
+        assert cluster.stats.cache_hits >= 2
+
+
+def test_rebalance_evens_out_shards():
+    """Removing one shard's sets then compacting rebalances placement."""
+    from repro.core.config import SilkMothConfig
+
+    sets = [[f"w{i} common"] for i in range(12)]
+    with SilkMothCluster.from_sets(
+        sets, SilkMothConfig(delta=0.2), shards=3
+    ) as cluster:
+        # Round-robin placement: shard 0 holds global ids 0, 3, 6, 9.
+        for gid in (0, 3, 6, 9):
+            cluster.remove_set(gid)
+        before = cluster.search(["common w1"])
+        moves = cluster.rebalance()
+        assert moves > 0
+        assert cluster.stats.rebalance_moves == moves
+        info_live = cluster.info()["shard_live_sets"]
+        assert max(info_live) - min(info_live) <= 1
+        assert cluster.search(["common w1"]) == before
+
+
+def test_cluster_run_stats_aggregate_funnel():
+    """Merged pass counters accumulate into the cluster's RunStats."""
+    from repro.core.config import SilkMothConfig
+
+    with SilkMothCluster.from_sets(
+        [["a b"], ["a c"], ["x y"]], SilkMothConfig(delta=0.3), shards=2
+    ) as cluster:
+        cluster.search(["a b"])
+        assert cluster.run_stats.passes == 1
+        assert cluster.run_stats.matches >= 1
+        assert cluster.last_pass.merged.matches >= 1
+        assert cluster.last_pass.shards_total == 2
+
+
+def test_shard_count_knob_resolution(monkeypatch):
+    """SILKMOTH_SHARDS supplies the default shard count."""
+    from repro.cluster.coordinator import resolve_shard_count
+
+    monkeypatch.delenv("SILKMOTH_SHARDS", raising=False)
+    assert resolve_shard_count(None) == 4
+    assert resolve_shard_count(2) == 2
+    monkeypatch.setenv("SILKMOTH_SHARDS", "7")
+    assert resolve_shard_count(None) == 7
+    with pytest.raises(ValueError):
+        resolve_shard_count(0)
+
+
+def test_from_sets_rejects_unknown_kwargs_before_spawning():
+    """A typoed keyword fails fast, before any worker could leak."""
+    from repro.core.config import SilkMothConfig
+
+    with pytest.raises(TypeError) as excinfo:
+        SilkMothCluster.from_sets(
+            [["a"]], SilkMothConfig(), shards=1, cache_cap=64
+        )
+    assert "cache_cap" in str(excinfo.value)
+
+
+def test_closed_cluster_refuses_work():
+    """Operations after close() fail loudly, not with hangs."""
+    from repro.core.config import SilkMothConfig
+
+    cluster = SilkMothCluster.from_sets([["a"]], SilkMothConfig(), shards=1)
+    cluster.close()
+    cluster.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        cluster.search(["a"])
+    with pytest.raises(RuntimeError):
+        cluster.add_set(["b"])

@@ -1,0 +1,236 @@
+"""Routing soundness: a skipped shard provably had nothing to say.
+
+The router may only skip a shard when the pair-level certificate holds
+(zero shared index tokens force ``phi_alpha = 0``); these tests verify
+both halves of that contract on randomized data:
+
+* every skipped shard shares **no** token hash with the reference (and
+  no empty-element pairing), and
+* brute force over the skipped shard's live sets confirms the shard
+  would have contributed zero results.
+
+Plus the unit behaviour of the summaries themselves -- exact sets,
+Bloom filters (false positives allowed, false negatives never), the
+empty-element flag, and the certificate predicate per configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_search
+from repro.cluster import SilkMothCluster, routing_certificate_holds
+from repro.cluster.routing import (
+    BloomTokenSummary,
+    ExactTokenSummary,
+    ShardSummary,
+    element_token_hashes,
+    make_token_summary,
+    reference_probe,
+    resolve_summary_bits,
+    token_hash,
+)
+from repro.core.config import SilkMothConfig
+from repro.core.records import SetCollection
+from repro.sim.functions import SimilarityKind
+from repro.tokenize.tokenizers import Tokenizer
+from strategies import collections, token_configs, token_sets
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    sets=collections(min_sets=1, max_sets=8),
+    reference=token_sets(),
+    config=token_configs(),
+    shards=st.integers(min_value=2, max_value=4),
+    summary_bits=st.sampled_from([0, 256]),
+)
+@_SETTINGS
+def test_skipped_shards_provably_empty(
+    sets, reference, config, shards, summary_bits
+):
+    """Skipped shard => zero token overlap => brute force finds nothing."""
+    with SilkMothCluster.from_sets(
+        sets, config, shards=shards, summary_bits=summary_bits
+    ) as cluster:
+        cluster.search(reference)
+        routed = {k for k, _ in cluster.last_pass.per_shard}
+        skipped = set(range(cluster.n_shards)) - routed
+        if not reference:
+            return
+        tokenizer = Tokenizer(kind=config.similarity, q=config.effective_q)
+        probe = reference_probe(tokenizer, reference)
+        for k in skipped:
+            shard_sets = [
+                list(cluster.raw_set(gid))
+                for gid in cluster.live_set_ids()
+                if cluster.placement_of(gid)[0] == k
+            ]
+            # (1) zero signature/token overlap with the skipped shard.
+            shard_hashes, shard_empty = set(), False
+            for elements in shard_sets:
+                hashes, has_empty = element_token_hashes(tokenizer, elements)
+                shard_hashes |= hashes
+                shard_empty = shard_empty or has_empty
+            assert not (shard_hashes & probe.hashes)
+            assert not (probe.has_empty and shard_empty)
+            # (2) brute force over the shard agrees: nothing related.
+            shard_collection = SetCollection.from_strings(
+                shard_sets, kind=config.similarity, q=config.effective_q
+            )
+            shard_reference = shard_collection.query_set(reference)
+            assert (
+                brute_force_search(shard_reference, shard_collection, config)
+                == []
+            )
+
+
+def test_certificate_predicate_per_configuration():
+    """Token kinds always qualify; edit kinds only above the gram cap."""
+    assert routing_certificate_holds(SilkMothConfig())  # jaccard
+    assert routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.OVERLAP, alpha=0.0)
+    )
+    # NEds at q=1: the no-share cap is 0, so any alpha qualifies.
+    assert routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.NEDS, alpha=0.0, q=1)
+    )
+    # Eds at q=1 caps at 1/3: alpha must clear it.
+    assert routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.6, q=1)
+    )
+    assert not routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.0, q=1)
+    )
+    # q=2 caps at 2/3 for both edit kinds.
+    assert not routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.6, q=2)
+    )
+    assert routing_certificate_holds(
+        SilkMothConfig(similarity=SimilarityKind.EDS, alpha=0.8, q=2)
+    )
+
+
+def test_broadcast_without_certificate():
+    """Edit similarity with alpha=0 must fan out to every shard.
+
+    Two strings can have positive edit similarity while sharing no
+    q-gram at all (e.g. a reversal), so no token summary can rule a
+    shard out; the router must broadcast.
+    """
+    config = SilkMothConfig(
+        similarity=SimilarityKind.EDS, alpha=0.0, delta=0.1, q=1
+    )
+    sets = [["abcde"], ["edcba"], ["zzzzz"]]
+    with SilkMothCluster.from_sets(sets, config, shards=3) as cluster:
+        assert not cluster.routing_enabled
+        results = cluster.search(["abcde"])
+        assert cluster.last_pass.shards_routed == 3
+        # The zero-gram-overlap pair is genuinely related here.
+        assert 1 in {r.set_id for r in results}
+
+
+def test_exact_summary_membership():
+    """Exact summaries have neither false positives nor negatives."""
+    summary = ExactTokenSummary()
+    summary.add(token_hash("ash"))
+    assert summary.might_contain(token_hash("ash"))
+    assert not summary.might_contain(token_hash("oak"))
+    assert summary.kind == "exact"
+    assert len(summary) == 1
+
+
+def test_bloom_summary_no_false_negatives():
+    """Every added token is always reported present."""
+    summary = BloomTokenSummary(bits=64)
+    hashes = [token_hash(f"token{i}") for i in range(50)]
+    for value in hashes:
+        summary.add(value)
+    assert all(summary.might_contain(value) for value in hashes)
+    assert summary.kind == "bloom"
+
+
+def test_bloom_false_positives_only_over_route():
+    """An undersized Bloom summary routes extra shards, never fewer."""
+    config = SilkMothConfig(delta=0.3)
+    sets = [["ash bay"], ["oak sky"], ["ivy yew"], ["elm fir"]]
+    with SilkMothCluster.from_sets(
+        sets, config, shards=2, summary_bits=0
+    ) as exact:
+        with SilkMothCluster.from_sets(
+            sets, config, shards=2, summary_bits=8
+        ) as bloom:
+            for reference in (["ash bay"], ["oak"], ["nothing shared"]):
+                assert bloom.search(reference) == exact.search(reference)
+                assert (
+                    bloom.last_pass.shards_routed
+                    >= exact.last_pass.shards_routed
+                )
+
+
+def test_empty_element_pairing_routes():
+    """A reference with an empty element reaches shards holding one."""
+    config = SilkMothConfig(delta=0.3)
+    # Round-robin placement: shard 0 holds the empty element, shard 1
+    # holds only tokens the reference does not share.
+    sets = [["ash", ""], ["oak sky"]]
+    with SilkMothCluster.from_sets(sets, config, shards=2) as cluster:
+        results = cluster.search(["", "zzz unknown"])
+        assert cluster.last_pass.shards_routed == 1
+        assert 0 in {r.set_id for r in results}
+
+
+def test_summary_rebuild_tightens_after_compaction():
+    """Removing a set leaves the summary stale-sound until compact()."""
+    config = SilkMothConfig(delta=0.3)
+    # cache_capacity=0: every search below must actually consult the
+    # router (a cached answer would freeze last_pass).
+    with SilkMothCluster.from_sets(
+        [["unique token"], ["other words"]], config, shards=1, cache_capacity=0
+    ) as cluster:
+        probe_elements = ["unique"]
+        cluster.search(probe_elements)
+        assert cluster.last_pass.shards_routed == 1
+        cluster.remove_set(0)
+        # Stale summary still routes (sound, just not tight)...
+        cluster.search(probe_elements)
+        assert cluster.last_pass.shards_routed == 1
+        assert cluster.search(probe_elements) == []
+        cluster.compact()
+        # ...and the rebuilt summary skips the shard outright.
+        cluster.search(probe_elements)
+        assert cluster.last_pass.shards_routed == 0
+
+
+def test_summary_bits_knob_resolution(monkeypatch):
+    """SILKMOTH_SHARD_SUMMARY_BITS sizes summaries; 0 means exact."""
+    monkeypatch.delenv("SILKMOTH_SHARD_SUMMARY_BITS", raising=False)
+    assert resolve_summary_bits(None) == 0
+    assert resolve_summary_bits(128) == 128
+    monkeypatch.setenv("SILKMOTH_SHARD_SUMMARY_BITS", "512")
+    assert resolve_summary_bits(None) == 512
+    with pytest.raises(ValueError):
+        resolve_summary_bits(-1)
+    assert make_token_summary(0).kind == "exact"
+    assert make_token_summary(512).kind == "bloom"
+    with pytest.raises(ValueError):
+        BloomTokenSummary(bits=4)
+
+
+def test_shard_summary_may_answer():
+    """ShardSummary combines token intersection with the empty flag."""
+    summary = ShardSummary(make_token_summary(0))
+    summary.add_set_tokens([token_hash("ash")], has_empty=False)
+    tokenizer = Tokenizer(kind=SimilarityKind.JACCARD)
+    assert summary.may_answer(reference_probe(tokenizer, ["ash oak"]))
+    assert not summary.may_answer(reference_probe(tokenizer, ["oak"]))
+    assert not summary.may_answer(reference_probe(tokenizer, [""]))
+    summary.add_set_tokens([], has_empty=True)
+    assert summary.may_answer(reference_probe(tokenizer, [""]))

@@ -1,0 +1,162 @@
+"""Transport parity: process and socket shards equal inline shards.
+
+The property suites pin exactness through the inline transport; these
+tests pin that the worker-process transports run the byte-identical
+shard code -- same results, same mutations, same snapshots -- plus the
+protocol behaviours that only exist remotely: pipelined submit/collect,
+error mirroring, and clean shutdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardTransportError, SilkMothCluster
+from repro.cluster.transport import (
+    KNOWN_TRANSPORTS,
+    make_transport,
+    resolve_transport_name,
+)
+from repro.core.config import SilkMothConfig
+
+REMOTE_TRANSPORTS = ("process", "socket")
+
+DATA = [
+    ["ash bay", "elm fir"],
+    ["ash bay elm", "oak"],
+    ["sky yew", "ivy"],
+    ["ash", "fir elm"],
+    ["oak sky", ""],
+]
+
+CONFIG = SilkMothConfig(delta=0.3)
+
+
+@pytest.mark.parametrize("transport", REMOTE_TRANSPORTS)
+def test_remote_transport_matches_inline(transport):
+    """Search, discovery and mutation answers match the inline cluster."""
+    with SilkMothCluster.from_sets(DATA, CONFIG, shards=2) as inline:
+        with SilkMothCluster.from_sets(
+            DATA, CONFIG, shards=2, transport=transport
+        ) as remote:
+            assert remote.discover() == inline.discover()
+            for target in (inline, remote):
+                target.add_set(["ash bay fresh"])
+                target.remove_set(1)
+            for reference in (["ash bay"], ["oak sky"], [""]):
+                assert remote.search(reference) == inline.search(reference)
+            assert remote.live_set_ids() == inline.live_set_ids()
+
+
+@pytest.mark.parametrize("transport", REMOTE_TRANSPORTS)
+def test_remote_snapshot_round_trip(transport, tmp_path):
+    """A remote-transport cluster snapshots and reloads identically."""
+    manifest = tmp_path / "cluster.json"
+    with SilkMothCluster.from_sets(
+        DATA, CONFIG, shards=2, transport=transport
+    ) as cluster:
+        expected = cluster.search(["ash bay"])
+        cluster.save(manifest)
+    loaded = SilkMothCluster.load(manifest, CONFIG, transport=transport)
+    try:
+        assert loaded.search(["ash bay"]) == expected
+    finally:
+        loaded.close()
+
+
+@pytest.mark.parametrize("transport", REMOTE_TRANSPORTS)
+def test_worker_errors_are_mirrored(transport):
+    """An exception inside a worker surfaces as ShardTransportError."""
+    endpoint = make_transport(transport, CONFIG, [("ash",)])
+    try:
+        assert endpoint.request("ping") == "pong"
+        with pytest.raises(ShardTransportError) as excinfo:
+            endpoint.request("no_such_command", ())
+        assert "no_such_command" in str(excinfo.value)
+        # The worker survives a failed command.
+        assert endpoint.request("ping") == "pong"
+    finally:
+        endpoint.close()
+
+
+@pytest.mark.parametrize("transport", REMOTE_TRANSPORTS)
+def test_pipelined_submits_collect_in_order(transport):
+    """submit/submit/collect/collect pairs replies in request order."""
+    endpoint = make_transport(transport, CONFIG, [("ash",), ("oak",)])
+    try:
+        endpoint.submit("info", ())
+        endpoint.submit("summary", ())
+        info = endpoint.collect()
+        hashes, has_empty = endpoint.collect()
+        assert info["live_sets"] == 2
+        assert hashes and not has_empty
+    finally:
+        endpoint.close()
+
+
+def test_collect_without_submit_raises():
+    """Protocol misuse fails fast instead of deadlocking."""
+    endpoint = make_transport("process", CONFIG, ())
+    try:
+        with pytest.raises(ShardTransportError):
+            endpoint.collect()
+    finally:
+        endpoint.close()
+
+
+def test_transport_knob_resolution(monkeypatch):
+    """SILKMOTH_CLUSTER_TRANSPORT names the default transport."""
+    monkeypatch.delenv("SILKMOTH_CLUSTER_TRANSPORT", raising=False)
+    assert resolve_transport_name(None) == "inline"
+    assert resolve_transport_name("socket") == "socket"
+    monkeypatch.setenv("SILKMOTH_CLUSTER_TRANSPORT", "process")
+    assert resolve_transport_name(None) == "process"
+    with pytest.raises(ValueError):
+        resolve_transport_name("carrier-pigeon")
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon", CONFIG)
+    assert set(KNOWN_TRANSPORTS) == {"inline", "process", "socket"}
+
+
+def test_failed_fanout_does_not_desynchronize_later_queries():
+    """All routed replies drain even when one shard fails mid-fan-out.
+
+    The protocol pairs replies with submissions by order (no request
+    ids), so a shard error that aborted collection early would leave
+    queued replies to be mis-paired with the *next* command.  After a
+    failure, the surviving shards must answer later queries correctly.
+    """
+    with SilkMothCluster.from_sets(DATA, CONFIG, shards=2) as cluster:
+        expected_a = cluster.search(["ash bay"])
+        expected_b = cluster.search(["oak sky"])
+        cluster.cache.invalidate()
+
+        host = cluster._transports[0].host
+        original = host.handle
+        calls = {"n": 0}
+
+        def failing_handle(command, payload):
+            if command == "search":
+                calls["n"] += 1
+                raise RuntimeError("injected shard failure")
+            return original(command, payload)
+
+        host.handle = failing_handle
+        with pytest.raises(ShardTransportError) as excinfo:
+            cluster.search(["ash bay"])
+        assert "injected shard failure" in str(excinfo.value)
+        assert calls["n"] == 1  # the query did reach the broken shard
+        host.handle = original
+        cluster.cache.invalidate()
+        # The very next queries pair replies correctly again.
+        assert cluster.search(["oak sky"]) == expected_b
+        assert cluster.search(["ash bay"]) == expected_a
+
+
+def test_close_is_idempotent_and_reaps_workers():
+    """Closing twice is safe and leaves no live worker behind."""
+    endpoint = make_transport("process", CONFIG, [("ash",)])
+    process = endpoint._process
+    endpoint.close()
+    endpoint.close()
+    assert process is not None and not process.is_alive()

@@ -1,0 +1,96 @@
+"""Live-traffic planner calibration: ServiceStats.export_cost_profile.
+
+The service accumulates each cold pass's per-stage wall clock per
+compute backend; exporting must produce a file the planner's
+:func:`repro.planner.cost.load_measured_costs` accepts, with mean-per-
+pass seconds (comparable across backends regardless of traffic split).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SilkMothConfig
+from repro.core.stats import PassStats
+from repro.planner.cost import load_measured_costs
+from repro.service import ServiceStats, SilkMothService
+
+
+def _stats_with_passes() -> ServiceStats:
+    stats = ServiceStats()
+    stats.record_pass(
+        PassStats(backend="python", stage_seconds={"select": 0.2, "verify": 0.2})
+    )
+    stats.record_pass(
+        PassStats(backend="python", stage_seconds={"select": 0.1, "verify": 0.1})
+    )
+    stats.record_pass(
+        PassStats(backend="numpy", stage_seconds={"select": 0.15, "verify": 0.05})
+    )
+    return stats
+
+
+def test_record_pass_accumulates_per_stage_and_backend():
+    stats = _stats_with_passes()
+    assert stats.stage_seconds["select"] == pytest.approx(0.45)
+    assert stats.stage_seconds["verify"] == pytest.approx(0.35)
+    assert stats.backend_seconds["python"]["passes"] == 2
+    assert stats.backend_seconds["python"]["seconds"] == pytest.approx(0.6)
+    assert stats.backend_seconds["numpy"]["passes"] == 1
+
+
+def test_export_writes_mean_per_pass_seconds(tmp_path):
+    stats = _stats_with_passes()
+    path = tmp_path / "profile.json"
+    payload = stats.export_cost_profile(path)
+    backends = payload["calibration"]["backends"]
+    assert backends["python"]["seconds"] == pytest.approx(0.3)
+    assert backends["numpy"]["seconds"] == pytest.approx(0.2)
+    on_disk = json.loads(path.read_text())
+    assert on_disk["calibration"]["backends"] == backends
+
+
+def test_export_loads_through_planner_cost_model(tmp_path):
+    """The exported file is SILKMOTH_COST_PROFILE-compatible."""
+    stats = _stats_with_passes()
+    path = tmp_path / "profile.json"
+    stats.export_cost_profile(path)
+    measured = load_measured_costs(str(path))
+    assert measured is not None
+    # numpy measured faster per pass on this synthetic traffic.
+    assert measured.fastest_backend(("python", "numpy")) == "numpy"
+
+
+def test_export_without_traffic_raises(tmp_path):
+    with pytest.raises(ValueError):
+        ServiceStats().export_cost_profile(tmp_path / "profile.json")
+    assert not (tmp_path / "profile.json").exists()
+
+
+def test_live_service_accumulates_and_exports(tmp_path):
+    """An actual served query produces an exportable profile."""
+    service = SilkMothService(SilkMothConfig(delta=0.4, backend="python"))
+    service.add_set(["ash bay", "elm"])
+    service.add_set(["oak sky"])
+    service.search(["ash bay"])
+    service.search(["ash bay"])  # cache hit: adds no pass
+    stats = service.stats
+    assert stats.backend_seconds["python"]["passes"] == 1
+    assert set(stats.stage_seconds) >= {"select", "verify"}
+    payload = stats.export_cost_profile(tmp_path / "profile.json")
+    assert "python" in payload["calibration"]["backends"]
+    assert load_measured_costs(str(tmp_path / "profile.json")) is not None
+
+
+def test_stats_round_trip_preserves_calibration_fields():
+    """to_dict/from_dict carry the stage and backend accumulators."""
+    stats = _stats_with_passes()
+    restored = ServiceStats.from_dict(
+        json.loads(json.dumps(stats.to_dict()))
+    )
+    assert restored.stage_seconds == pytest.approx(stats.stage_seconds)
+    assert restored.backend_seconds["python"]["passes"] == 2
+    # The restored stats keep exporting correctly.
+    assert restored.backend_seconds["python"]["seconds"] == pytest.approx(0.6)
