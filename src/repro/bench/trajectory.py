@@ -430,8 +430,12 @@ def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
         "schema": SCHEMA,
         "python": ".".join(str(part) for part in sys.version_info[:3]),
         # Worker scaling in cluster_discover is only interpretable
-        # against the core count of the machine that produced the file.
+        # against the core count of the machine that produced the file;
+        # the git SHA and hostname pin *which* code ran *where*, so two
+        # committed trajectory points are comparable (or provably not).
         "cpus": multiprocessing.cpu_count(),
+        "git_sha": _git_sha(),
+        "hostname": _hostname(),
         "scale": scale,
         "workloads": workloads,
         "calibration": {
@@ -439,6 +443,40 @@ def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
             "backends": calibration_backends,
         },
     }
+
+
+def _git_sha() -> str:
+    """The repository's HEAD commit (short), or ``"unknown"``.
+
+    Resolved with ``git rev-parse`` relative to this file so the stamp
+    works from any working directory; a missing git binary or a
+    non-repository checkout (e.g. an sdist install) degrades to
+    ``"unknown"`` rather than failing the benchmark.
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _hostname() -> str:
+    """This machine's hostname, or ``"unknown"``."""
+    import socket
+
+    try:
+        return socket.gethostname() or "unknown"
+    except OSError:
+        return "unknown"
 
 
 def _merge_stage_seconds(*timings: dict) -> dict:

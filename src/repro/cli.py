@@ -595,11 +595,30 @@ def cmd_cluster_info(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """``silkmoth stats``: profile the input dataset (Table 3 style)."""
+    """``silkmoth stats``: profile the input dataset (Table 3 style).
+
+    With ``--metrics prom|json`` the command instead runs one discovery
+    pass over the input to exercise the full pipeline, then prints the
+    telemetry registry in Prometheus text exposition format (0.0.4) or
+    as JSON -- a one-shot scrape endpoint for dashboards and the CI
+    telemetry smoke leg (see ``docs/observability.md``).
+    """
     sets, labels = load_sets(args.input, args.format)
     if not sets:
         print("no sets found in input", file=sys.stderr)
         return 1
+    if getattr(args, "metrics", None):
+        from repro.obs import to_json, to_prometheus_text
+
+        config = build_config(args)
+        collection = build_collection(sets, config)
+        engine = SilkMoth(collection, config)
+        engine.discover()
+        if args.metrics == "prom":
+            sys.stdout.write(to_prometheus_text())
+        else:
+            print(to_json())
+        return 0
     n_sets = len(sets)
     elements_per_set = sum(len(s) for s in sets) / n_sets
     token_counts = [
@@ -613,6 +632,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"word tokens/element:{tokens_per_element:.2f}")
     largest = max(range(n_sets), key=lambda i: len(sets[i]))
     print(f"largest set:        {labels[largest]!r} ({len(sets[largest])} elements)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``silkmoth trace``: render an exported JSONL trace as a flame tree."""
+    from repro.obs import format_flame, load_jsonl
+
+    spans = load_jsonl(args.trace_file)
+    if not spans:
+        print("no spans in trace file", file=sys.stderr)
+        return 1
+    print(format_flame(spans))
     return 0
 
 
@@ -686,10 +717,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selfcheck.set_defaults(func=cmd_selfcheck)
 
-    stats = sub.add_parser("stats", help="profile the input dataset")
+    stats = sub.add_parser(
+        "stats",
+        help=(
+            "profile the input dataset, or emit pipeline telemetry "
+            "with --metrics"
+        ),
+    )
     stats.add_argument("input", help="input data file")
     stats.add_argument("--format", choices=FORMATS, default="text")
+    _add_config_options(stats)
+    stats.add_argument(
+        "--metrics",
+        choices=("prom", "json"),
+        default=None,
+        help=(
+            "run one discovery pass and print the metrics registry in "
+            "Prometheus text format or JSON instead of the dataset profile"
+        ),
+    )
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarise an exported JSONL trace as a text flame tree",
+    )
+    trace.add_argument("trace_file", help="JSONL trace (SILKMOTH_TRACE_EXPORT)")
+    trace.set_defaults(func=cmd_trace)
 
     service = sub.add_parser(
         "service",
@@ -840,6 +894,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _flush_trace() -> None:
+    """Export buffered spans to ``SILKMOTH_TRACE_EXPORT`` when tracing.
+
+    Runs after every command (success or error) so that
+    ``SILKMOTH_TRACE=1 SILKMOTH_TRACE_EXPORT=out.jsonl silkmoth ...``
+    always leaves a readable JSONL trace behind, viewable with
+    ``silkmoth trace out.jsonl``.
+    """
+    from repro.obs.trace import export_jsonl, export_path, trace_enabled
+
+    if not trace_enabled():
+        return
+    path = export_path()
+    if path:
+        try:
+            export_jsonl(path)
+        except OSError as exc:
+            print(f"warning: trace export failed: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -849,6 +923,8 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _flush_trace()
 
 
 if __name__ == "__main__":

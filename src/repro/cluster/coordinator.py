@@ -63,6 +63,9 @@ from repro.io.persistence import (
     save_cluster_manifest,
     save_shard_snapshot,
 )
+from repro.obs.autocal import AutoCalibrator
+from repro.obs.instrument import observe_transport_error
+from repro.obs.trace import current_context, ingest, span
 from repro.pipeline.driver import keep_discovery_pair
 from repro.planner.cost import IndexProfile, merge_profiles
 from repro.service.batch import plan_batch
@@ -113,6 +116,15 @@ class SilkMothCluster:
         Cluster-level query cache size (0 disables caching).
     compact_dead_fraction:
         Per-shard auto-compaction threshold (as in the service).
+    autocal_interval:
+        Cold fan-outs between auto-calibration samples (``None`` reads
+        ``SILKMOTH_AUTOCAL_INTERVAL``; 0 disables).  When a sample
+        fires, every shard re-plans against the cluster's live
+        per-backend timings (see :meth:`_autocalibrate`).
+    autocal_export_path:
+        Optional file each sample also (atomically) writes a
+        ``SILKMOTH_COST_PROFILE``-compatible profile to, with the
+        per-shard index profiles merged in.
     """
 
     def __init__(
@@ -124,6 +136,8 @@ class SilkMothCluster:
         summary_bits: "int | None" = None,
         cache_capacity: int = 1024,
         compact_dead_fraction: float = 0.25,
+        autocal_interval: "int | None" = None,
+        autocal_export_path: "str | Path | None" = None,
     ):
         n_shards = resolve_shard_count(shards)
         self._init_common(
@@ -134,6 +148,8 @@ class SilkMothCluster:
             cache_capacity,
             compact_dead_fraction,
             shard_states=[((), ()) for _ in range(n_shards)],
+            autocal_interval=autocal_interval,
+            autocal_export_path=autocal_export_path,
         )
 
     def _init_common(
@@ -145,6 +161,8 @@ class SilkMothCluster:
         cache_capacity: int,
         compact_dead_fraction: float,
         shard_states: list,
+        autocal_interval: "int | None" = None,
+        autocal_export_path: "str | Path | None" = None,
     ) -> None:
         """Shared constructor body (``__init__``, ``from_sets``, ``load``).
 
@@ -191,6 +209,11 @@ class SilkMothCluster:
         self.generation = 0
         self.cache = LRUQueryCache(cache_capacity)
         self.stats = ClusterStats()
+        #: Cluster-level auto-calibration sampler; the export (which
+        #: merges per-shard index profiles) is coordinator work, so the
+        #: sampler itself holds no export path.
+        self.autocal = AutoCalibrator(autocal_interval, None)
+        self._autocal_export_path = autocal_export_path
         #: Funnel aggregate over merged cluster passes (engine parity).
         self.run_stats = RunStats()
         #: The most recent query's fan-out verdict (observability).
@@ -220,6 +243,8 @@ class SilkMothCluster:
         summary_bits = resolve_summary_bits(kwargs.pop("summary_bits", None))
         cache_capacity = kwargs.pop("cache_capacity", 1024)
         compact_dead_fraction = kwargs.pop("compact_dead_fraction", 0.25)
+        autocal_interval = kwargs.pop("autocal_interval", None)
+        autocal_export_path = kwargs.pop("autocal_export_path", None)
         if kwargs:
             # Validate BEFORE spawning: a typoed keyword must not leak
             # unreachable (hence unclosable) worker processes.
@@ -239,6 +264,8 @@ class SilkMothCluster:
             cache_capacity,
             compact_dead_fraction,
             shard_states=[(shard_sets[k], ()) for k in range(n_shards)],
+            autocal_interval=autocal_interval,
+            autocal_export_path=autocal_export_path,
         )
         cluster._placement = placement
         cluster._raw = [tuple(elements) for elements in sets]
@@ -492,6 +519,7 @@ class SilkMothCluster:
                 replies.append(self._transports[k].collect())
             except Exception as exc:  # noqa: BLE001 - re-raised after drain
                 replies.append(None)
+                observe_transport_error()
                 if failure is None:
                     failure = (k, exc)
         if failure is not None:
@@ -521,42 +549,100 @@ class SilkMothCluster:
             self.stats.record_routing(cluster_pass)
             self.last_pass = cluster_pass
             return [], cluster_pass
-        if self._certificate:
-            probe = reference_probe(self._tokenizer, elements)
-            selected = self._route(probe)
-        else:
-            # Broadcast mode never consults the probe; skip hashing.
-            selected = list(range(self.n_shards))
-        skip_shard, skip_local = None, None
-        if skip_gid is not None and self.is_live(skip_gid):
-            skip_shard, skip_local = self._placement[skip_gid]
-        payload = tuple(elements)
-        for k in selected:
-            self._transports[k].submit(
-                "search", (payload, skip_local if k == skip_shard else None)
-            )
-        replies = self._collect_from(selected)
-        merged_results: list[SearchResult] = []
-        per_shard: list[tuple[int, object]] = []
-        for k, (results, pass_stats) in zip(selected, replies):
-            per_shard.append((k, pass_stats))
-            table = self._shard_to_global[k]
-            for result in results:
-                merged_results.append(
-                    SearchResult(
-                        set_id=table[result.set_id],
-                        score=result.score,
-                        relatedness=result.relatedness,
-                    )
+        with span("cluster.query", shards=self.n_shards) as query_span:
+            if self._certificate:
+                with span("cluster.route"):
+                    probe = reference_probe(self._tokenizer, elements)
+                    selected = self._route(probe)
+            else:
+                # Broadcast mode never consults the probe; skip hashing.
+                selected = list(range(self.n_shards))
+            query_span.set_attr("routed", len(selected))
+            skip_shard, skip_local = None, None
+            if skip_gid is not None and self.is_live(skip_gid):
+                skip_shard, skip_local = self._placement[skip_gid]
+            payload = tuple(elements)
+            # The shard parents its spans directly under this query
+            # span, so a fanned-out pass stays one coherent trace tree
+            # even across worker processes.
+            trace_ctx = current_context()
+            for k in selected:
+                self._transports[k].submit(
+                    "search",
+                    (
+                        payload,
+                        skip_local if k == skip_shard else None,
+                        trace_ctx,
+                    ),
                 )
-        merged_results.sort(key=lambda result: result.set_id)
+            with span("cluster.collect", shards=len(selected)):
+                replies = self._collect_from(selected)
+            merged_results: list[SearchResult] = []
+            per_shard: list[tuple[int, object]] = []
+            for k, (results, pass_stats, shard_spans) in zip(selected, replies):
+                ingest(shard_spans)
+                per_shard.append((k, pass_stats))
+                table = self._shard_to_global[k]
+                for result in results:
+                    merged_results.append(
+                        SearchResult(
+                            set_id=table[result.set_id],
+                            score=result.score,
+                            relatedness=result.relatedness,
+                        )
+                    )
+            merged_results.sort(key=lambda result: result.set_id)
         cluster_pass = ClusterPassStats.from_shards(self.n_shards, per_shard)
         self.stats.record_routing(cluster_pass)
         for _, pass_stats in per_shard:
             self.stats.record_pass(pass_stats)
         self.run_stats.add(cluster_pass.merged)
         self.last_pass = cluster_pass
+        self._autocalibrate()
         return merged_results, cluster_pass
+
+    def _autocalibrate(self) -> None:
+        """Tick the sampler; broadcast a re-plan when it fires.
+
+        The coordinator's :class:`~repro.cluster.stats.ClusterStats`
+        accumulates every shard's per-backend pass timings, so the
+        derived :class:`~repro.planner.cost.MeasuredCosts` reflects
+        cluster-wide traffic; each shard then re-plans against those
+        shared timings and its *own* index profile.  When an export
+        path is configured the profile is also written to disk with the
+        per-shard index profiles merged via
+        :func:`~repro.planner.cost.merge_profiles`.
+        """
+        costs = self.autocal.observe(self.stats)
+        if costs is None:
+            return
+        with span("planner.autocal_replan", shards=self.n_shards):
+            for transport in self._transports:
+                transport.submit("replan", (costs.backend_seconds,))
+            self._collect_from(list(range(self.n_shards)))
+        if self._autocal_export_path is not None:
+            self.export_cost_profile(self._autocal_export_path)
+
+    def export_cost_profile(self, path: "str | Path") -> dict:
+        """Write live cluster timings as planner calibration.
+
+        :meth:`ServiceStats.export_cost_profile` over the cluster's
+        lifetime stats, plus an ``index_profile`` section merging every
+        shard's :class:`~repro.planner.cost.IndexProfile` through
+        :func:`~repro.planner.cost.merge_profiles` -- the cluster-wide
+        workload view alongside the cluster-wide timings.
+        """
+        profiles = []
+        for entry in self.shard_infos():
+            profile = entry.get("decision", {}).get("profile")
+            if isinstance(profile, dict):
+                profiles.append(IndexProfile.from_dict(profile))
+        extra = (
+            {"index_profile": merge_profiles(profiles).to_dict()}
+            if profiles
+            else None
+        )
+        return self.stats.export_cost_profile(path, extra=extra)
 
     def search(self, elements: Sequence[str]) -> list[SearchResult]:
         """All live sets related to the raw reference *elements*.
@@ -565,16 +651,20 @@ class SilkMothCluster:
         :meth:`repro.service.SilkMothService.search`; set ids are
         global ids.
         """
-        key = (reference_fingerprint(elements), self._config_fp)
-        started = time.perf_counter()
-        cached = self.cache.get(key, self.generation)
-        if cached is not None:
-            self.stats.record_query(time.perf_counter() - started, True)
-            return list(cached)
-        results, _ = self._search_cold(elements)
-        self.cache.put(key, self.generation, tuple(results))
-        self.stats.record_query(time.perf_counter() - started, False)
-        return results
+        with span("service.query") as query_span:
+            key = (reference_fingerprint(elements), self._config_fp)
+            started = time.perf_counter()
+            with span("cache.probe"):
+                cached = self.cache.get(key, self.generation)
+            if cached is not None:
+                query_span.set_attr("cache", "hit")
+                self.stats.record_query(time.perf_counter() - started, True)
+                return list(cached)
+            query_span.set_attr("cache", "miss")
+            results, _ = self._search_cold(elements)
+            self.cache.put(key, self.generation, tuple(results))
+            self.stats.record_query(time.perf_counter() - started, False)
+            return results
 
     def search_many(
         self, references: Sequence[Sequence[str]]
@@ -629,22 +719,23 @@ class SilkMothCluster:
         """
         symmetric = self.config.metric is Relatedness.SIMILARITY
         output: list[DiscoveryResult] = []
-        for gid in range(len(self._placement)):
-            if gid in self._deleted:
-                continue
-            results, _ = self._search_cold(self._raw[gid], skip_gid=gid)
-            for result in results:
-                if keep_discovery_pair(
-                    gid, result.set_id, self_mode=True, symmetric=symmetric
-                ):
-                    output.append(
-                        DiscoveryResult(
-                            reference_id=gid,
-                            set_id=result.set_id,
-                            score=result.score,
-                            relatedness=result.relatedness,
+        with span("cluster.discover", live_sets=len(self)):
+            for gid in range(len(self._placement)):
+                if gid in self._deleted:
+                    continue
+                results, _ = self._search_cold(self._raw[gid], skip_gid=gid)
+                for result in results:
+                    if keep_discovery_pair(
+                        gid, result.set_id, self_mode=True, symmetric=symmetric
+                    ):
+                        output.append(
+                            DiscoveryResult(
+                                reference_id=gid,
+                                set_id=result.set_id,
+                                score=result.score,
+                                relatedness=result.relatedness,
+                            )
                         )
-                    )
         return output
 
     # ------------------------------------------------------------------

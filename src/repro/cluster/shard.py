@@ -24,6 +24,9 @@ from typing import Sequence
 from repro.cluster.routing import token_hash
 from repro.core.config import SilkMothConfig
 from repro.core.records import SetCollection
+from repro.obs.autocal import AUTOCAL_SOURCE
+from repro.obs.trace import collect_remote, span
+from repro.planner.cost import MeasuredCosts
 from repro.service.service import SilkMothService
 from repro.tokenize.tokenizers import Tokenizer
 
@@ -83,22 +86,35 @@ class ShardHost:
         """Liveness probe (transport tests)."""
         return "pong"
 
-    def _cmd_search(self, elements: Sequence[str], skip_local: int | None):
-        """One search pass; returns (results, PassStats).
+    def _cmd_search(
+        self,
+        elements: Sequence[str],
+        skip_local: int | None,
+        trace_ctx: "tuple[str, str] | None" = None,
+    ):
+        """One search pass; returns (results, PassStats, trace spans).
 
         The reference is tokenised through the non-interning query path
         -- token ids unknown to this shard resolve to ephemeral
         negative ids that match nothing, which is exactly the semantics
         of "this shard does not contain that token".  *skip_local*
         excludes one local set (the reference itself, in discovery).
+
+        *trace_ctx* is the coordinator's ``(trace_id, span_id)``
+        context; when present, the pass is traced here and the new
+        spans -- parented under the coordinator's query span -- ride
+        back in the reply for the coordinator to ingest, so a cluster
+        query yields one cross-process trace tree.
         """
         service = self.service
-        reference = service.collection.query_set(elements)
-        results, stats = service.engine.search_with_stats(
-            reference, skip_set=skip_local
-        )
+        with collect_remote(trace_ctx) as spans:
+            with span("shard.search", live_sets=service.collection.live_count):
+                reference = service.collection.query_set(elements)
+                results, stats = service.engine.search_with_stats(
+                    reference, skip_set=skip_local
+                )
         service.stats.record_pass(stats)
-        return results, stats
+        return results, stats, spans
 
     def _cmd_add(self, elements: Sequence[str]) -> int:
         """Append one set; returns its new local id."""
@@ -111,6 +127,22 @@ class ShardHost:
     def _cmd_compact(self) -> int:
         """Force a physical compaction; returns postings removed."""
         return self.service.compact()
+
+    def _cmd_replan(self, backend_seconds: dict) -> str:
+        """Re-plan this shard against cluster-measured backend timings.
+
+        *backend_seconds* maps backend name -> mean seconds per pass,
+        as derived by the coordinator's auto-calibration sampler from
+        shard-summed live traffic.  The shard re-plans against its own
+        :class:`~repro.planner.cost.IndexProfile` (per-shard statistics
+        stay exact); only the measured costs are shared.  Returns the
+        re-planned backend name.
+        """
+        costs = MeasuredCosts(
+            backend_seconds=dict(backend_seconds), source=AUTOCAL_SOURCE
+        )
+        decision = self.service.engine.replan(measured=costs)
+        return decision.backend
 
     def _cmd_summary(self) -> tuple[list[int], bool]:
         """Inventory the live sets' token hashes (+ empty-element flag).

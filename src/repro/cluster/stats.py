@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.stats import PassStats
+from repro.obs.instrument import observe_routing
 from repro.service.stats import ServiceStats
 
 
@@ -108,6 +109,7 @@ class ClusterStats(ServiceStats):
             pass_stats.shards_routed == pass_stats.shards_total
         ):
             self.broadcasts += 1
+        observe_routing(pass_stats)
 
     @property
     def shard_skip_rate(self) -> float:

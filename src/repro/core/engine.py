@@ -139,14 +139,18 @@ class SilkMoth:
             memo=self.memo,
         )
 
-    def replan(self) -> PlannerDecision:
+    def replan(self, measured=None) -> PlannerDecision:
         """Recompute the planner decision from current index statistics.
 
         Useful after heavy mutation (the service calls this when it
         compacts): validity never changes -- it is parameter arithmetic
-        -- but the cost model's scheme/backend choices may.
+        -- but the cost model's scheme/backend choices may.  *measured*
+        optionally supplies live per-backend timings (a
+        :class:`~repro.planner.cost.MeasuredCosts`) so the
+        auto-calibration sampler can override the heuristics without
+        any ``SILKMOTH_COST_PROFILE`` file.
         """
-        self.decision = plan_query(self.config, self.index)
+        self.decision = plan_query(self.config, self.index, measured=measured)
         self.scheme = get_scheme(self.decision.scheme)
         self.backend = get_backend(self.decision.backend)
         return self.decision

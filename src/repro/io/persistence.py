@@ -67,6 +67,8 @@ import os
 from pathlib import Path
 
 from repro.core.records import SetCollection
+from repro.obs.instrument import observe_snapshot
+from repro.obs.trace import span
 from repro.sim.functions import SimilarityKind
 
 #: Magic string identifying collection snapshots.
@@ -83,20 +85,30 @@ CLUSTER_FORMAT_NAME = "silkmoth-cluster"
 CLUSTER_FORMAT_VERSION = 1
 
 
-def _write_payload(path: str | Path, payload: dict) -> None:
-    """Atomically write *payload*: a crash mid-write (OOM, SIGKILL) must
-    never destroy an existing good snapshot, so write to a sibling temp
-    file and rename over the target."""
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    A crash mid-write (OOM, SIGKILL, full disk) must never destroy an
+    existing good file or leave a truncated one: the bytes land in a
+    sibling temp file first and the rename is atomic on POSIX.  Shared
+    by snapshot writes and cost-profile exports.
+    """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-            handle.write("\n")
+            handle.write(text)
         os.replace(tmp, path)
     finally:
         if tmp.exists():
             tmp.unlink()
+
+
+def _write_payload(path: str | Path, payload: dict) -> None:
+    """Atomically write one snapshot document (see :func:`atomic_write_text`)."""
+    with span("snapshot.save", path=str(path)):
+        atomic_write_text(path, json.dumps(payload) + "\n")
+    observe_snapshot("save")
 
 
 def save_collection(path: str | Path, collection: SetCollection) -> None:
@@ -141,11 +153,14 @@ def save_service_snapshot(
 
 def _read_payload(path: str | Path) -> dict:
     """Read and structurally validate a snapshot's JSON document."""
-    with open(path, encoding="utf-8") as handle:
+    with span("snapshot.load", path=str(path)), open(
+        path, encoding="utf-8"
+    ) as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+    observe_snapshot("load")
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
         raise ValueError(f"{path}: not a {FORMAT_NAME} snapshot")
     version = payload.get("version")
@@ -316,11 +331,14 @@ def load_cluster_manifest(path: str | Path) -> dict:
     re-validated by the caller against its config); shard files are
     not opened here.
     """
-    with open(path, encoding="utf-8") as handle:
+    with span("snapshot.load", path=str(path)), open(
+        path, encoding="utf-8"
+    ) as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+    observe_snapshot("load")
     if not isinstance(payload, dict) or payload.get("format") != CLUSTER_FORMAT_NAME:
         raise ValueError(f"{path}: not a {CLUSTER_FORMAT_NAME} manifest")
     if payload.get("version") != CLUSTER_FORMAT_VERSION:

@@ -1,0 +1,63 @@
+"""Unified telemetry: tracing spans, metrics, and auto-calibration.
+
+``repro.obs`` is the cross-cutting observability layer the staged
+pipeline, planner, service and cluster all report into:
+
+* :mod:`repro.obs.trace` -- per-query span trees (``SILKMOTH_TRACE``),
+  propagated across shard processes, exported as JSONL and rendered as
+  text flame summaries;
+* :mod:`repro.obs.metrics` -- the process-wide registry of counters,
+  gauges and histograms (always on);
+* :mod:`repro.obs.export` -- Prometheus text-format and JSON renderers
+  over the registry (``silkmoth stats --metrics``);
+* :mod:`repro.obs.instrument` -- the bridge folding the existing
+  ``PassStats``/``ServiceStats``/``ClusterPassStats`` hot paths into
+  registry updates;
+* :mod:`repro.obs.autocal` -- the in-service sampler that closes the
+  calibration loop by feeding live backend timings back into
+  ``replan()`` (``SILKMOTH_AUTOCAL_INTERVAL``).
+"""
+
+from .autocal import AutoCalibrator, resolve_autocal_interval
+from .export import to_json, to_prometheus_text
+from .metrics import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    resolve_buckets,
+)
+from .trace import (
+    Span,
+    collect_remote,
+    current_context,
+    export_jsonl,
+    format_flame,
+    get_tracer,
+    ingest,
+    load_jsonl,
+    set_trace_enabled,
+    span,
+    trace_enabled,
+)
+
+__all__ = [
+    "AutoCalibrator",
+    "MetricsRegistry",
+    "Span",
+    "collect_remote",
+    "current_context",
+    "export_jsonl",
+    "format_flame",
+    "get_registry",
+    "get_tracer",
+    "ingest",
+    "load_jsonl",
+    "reset_registry",
+    "resolve_autocal_interval",
+    "resolve_buckets",
+    "set_trace_enabled",
+    "span",
+    "to_json",
+    "to_prometheus_text",
+    "trace_enabled",
+]

@@ -1,0 +1,133 @@
+"""Close the calibration loop: live traffic re-calibrates the planner.
+
+Before this module, calibration was operator-driven: run
+``tools/bench_trajectory.py``, point ``SILKMOTH_COST_PROFILE`` at the
+output, restart.  :class:`AutoCalibrator` replaces that loop with an
+in-service sampler: every recorded cold pass ticks a counter, and each
+time ``interval`` passes accumulate it derives a
+:class:`~repro.planner.cost.MeasuredCosts` directly from the service's
+live per-backend timings (the exact numbers
+:meth:`~repro.service.stats.ServiceStats.export_cost_profile` would
+write) and hands it to the engine's ``replan(measured=...)`` -- no env
+var, no restart, no file unless an export path is configured.
+
+The sampler is conservative by design: it only *re-plans*, never
+mutates data, so a bad sample costs speed, not exactness; and it stays
+silent until at least two backends have been measured (one timing
+carries no comparative signal -- see
+:meth:`~repro.planner.cost.MeasuredCosts.fastest_backend`).
+
+``SILKMOTH_AUTOCAL_INTERVAL`` sets the default sampling interval in
+cold passes; ``0`` (the default) disables the sampler.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.planner.cost import MeasuredCosts
+
+from .instrument import observe_autocal_export
+
+AUTOCAL_ENV = "SILKMOTH_AUTOCAL_INTERVAL"
+
+#: Source label stamped into profiles derived by the sampler.
+AUTOCAL_SOURCE = "live-autocalibration"
+
+
+def resolve_autocal_interval(value: Optional[int] = None) -> int:
+    """Sampling interval in cold passes; 0 disables.
+
+    *value* wins when given; otherwise ``SILKMOTH_AUTOCAL_INTERVAL``
+    is consulted (default 0).  Negative or malformed values raise --
+    a deliberately configured sampler must not be silently ignored.
+    """
+    if value is None:
+        raw = os.environ.get(AUTOCAL_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{AUTOCAL_ENV} must be an integer number of passes, "
+                f"got {raw!r}"
+            )
+    if value < 0:
+        raise ValueError(f"auto-calibration interval must be >= 0, got {value}")
+    return value
+
+
+def derive_measured_costs(stats) -> Optional[MeasuredCosts]:
+    """Live ``ServiceStats`` timings as planner-consumable costs.
+
+    Uses the same mean-seconds-per-pass statistic as
+    :meth:`~repro.service.stats.ServiceStats.export_cost_profile`, so
+    the in-memory loop and the on-disk profile agree.  Returns ``None``
+    until at least two backends have recorded passes.
+    """
+    seconds = {
+        name: entry["seconds"] / entry["passes"]
+        for name, entry in stats.backend_seconds.items()
+        if entry.get("passes")
+    }
+    if len(seconds) < 2:
+        return None
+    return MeasuredCosts(backend_seconds=seconds, source=AUTOCAL_SOURCE)
+
+
+class AutoCalibrator:
+    """Periodic sampler turning live histograms into planner input.
+
+    Parameters
+    ----------
+    interval:
+        Cold passes between samples; ``None`` reads
+        ``SILKMOTH_AUTOCAL_INTERVAL``; 0 disables.
+    export_path:
+        Optional file to (atomically) write the derived
+        ``SILKMOTH_COST_PROFILE``-compatible profile to on every
+        sample -- useful for warm-starting the next process, but the
+        in-memory loop works without it.
+    """
+
+    def __init__(
+        self,
+        interval: Optional[int] = None,
+        export_path=None,
+    ) -> None:
+        self.interval = resolve_autocal_interval(interval)
+        self.export_path = export_path
+        self._passes_since_sample = 0
+        #: Samples taken over this calibrator's lifetime.
+        self.samples = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the sampler will ever fire."""
+        return self.interval > 0
+
+    def observe(self, stats) -> Optional[MeasuredCosts]:
+        """Tick one cold pass; return new costs when a sample is due.
+
+        *stats* is the owning service's ``ServiceStats`` (or
+        ``ClusterStats``).  Returns :class:`MeasuredCosts` when the
+        interval elapsed *and* the timings carry comparative signal,
+        else ``None``.  The caller feeds a non-``None`` result straight
+        into ``replan(measured=...)``.
+        """
+        if not self.enabled:
+            return None
+        self._passes_since_sample += 1
+        if self._passes_since_sample < self.interval:
+            return None
+        self._passes_since_sample = 0
+        costs = derive_measured_costs(stats)
+        if costs is None:
+            return None
+        self.samples += 1
+        observe_autocal_export()
+        if self.export_path is not None:
+            stats.export_cost_profile(self.export_path)
+        return costs

@@ -1,0 +1,100 @@
+"""Render the metrics registry as Prometheus text or JSON.
+
+The Prometheus exposition follows the text format version 0.0.4:
+``# HELP`` / ``# TYPE`` headers precede each family's samples,
+histograms emit cumulative ``le``-labelled buckets ending in ``+Inf``
+plus ``_sum`` and ``_count`` series, and label values are escaped.
+``tools/check_metrics_format.py`` lints exactly this contract in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import Metric, MetricsRegistry, get_registry
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names, values, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.extend(
+            f'{name}="{_escape_label(value)}"' for name, value in extra.items()
+        )
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prometheus_family(metric: Metric) -> List[str]:
+    lines = [
+        f"# HELP {metric.name} {metric.help}",
+        f"# TYPE {metric.name} {metric.kind}",
+    ]
+    for label_values, child in metric.series():
+        if metric.kind == "histogram":
+            cumulative = 0
+            for bound, bucket in zip(metric.buckets, child.bucket_counts):
+                cumulative += bucket
+                labels = _format_labels(
+                    metric.label_names, label_values, {"le": _format_value(bound)}
+                )
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+            labels = _format_labels(
+                metric.label_names, label_values, {"le": "+Inf"}
+            )
+            lines.append(f"{metric.name}_bucket{labels} {child.count}")
+            plain = _format_labels(metric.label_names, label_values)
+            lines.append(f"{metric.name}_sum{plain} {repr(float(child.sum))}")
+            lines.append(f"{metric.name}_count{plain} {child.count}")
+        else:
+            labels = _format_labels(metric.label_names, label_values)
+            lines.append(f"{metric.name}{labels} {_format_value(child.value)}")
+    return lines
+
+
+def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for metric in registry.families():
+        lines.extend(_prometheus_family(metric))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry as a JSON document (machine-diffable)."""
+    registry = registry if registry is not None else get_registry()
+    payload: Dict[str, Any] = {"schema": "silkmoth-metrics/1", "metrics": []}
+    for metric in registry.families():
+        entry: Dict[str, Any] = {
+            "name": metric.name,
+            "help": metric.help,
+            "kind": metric.kind,
+            "label_names": list(metric.label_names),
+            "series": [],
+        }
+        if metric.kind == "histogram":
+            entry["buckets"] = list(metric.buckets)
+        for label_values, child in metric.series():
+            series: Dict[str, Any] = {"labels": list(label_values)}
+            if metric.kind == "histogram":
+                series["bucket_counts"] = list(child.bucket_counts)
+                series["sum"] = child.sum
+                series["count"] = child.count
+            else:
+                series["value"] = child.value
+            entry["series"].append(series)
+        payload["metrics"].append(entry)
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,191 @@
+"""Bridge from the existing stats hot paths to the metrics registry.
+
+The engine already measures everything worth knowing -- per-stage
+seconds and the candidate funnel in ``PassStats``, query latency and
+cache outcomes in ``ServiceStats``, routing in ``ClusterPassStats`` --
+so this module does not time anything itself.  It translates those
+objects into registry updates at the moments they are recorded:
+
+* :func:`observe_pass` from ``QueryPlan.execute`` (one cold pass);
+* :func:`observe_query` from ``ServiceStats.record_query``;
+* :func:`observe_routing` from ``ClusterStats.record_routing``;
+* :func:`observe_mutation` / :func:`observe_snapshot` /
+  :func:`observe_transport_error` from their respective call sites.
+
+Metric handles are resolved lazily and cached against the registry
+instance, so tests that call :func:`repro.obs.metrics.reset_registry`
+get fresh families on the next observation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry, get_registry
+
+_FUNNEL_STAGES = (
+    ("initial", "initial_candidates"),
+    ("after_check", "after_check"),
+    ("after_nn", "after_nn"),
+    ("verified", "verified"),
+    ("matches", "matches"),
+)
+
+
+class _Handles:
+    """Metric families registered once per registry instance."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.queries = registry.register(
+            "silkmoth_queries_total",
+            "Service queries by cache outcome.",
+            "counter",
+            ("result",),
+        )
+        self.query_latency = registry.register(
+            "silkmoth_query_latency_seconds",
+            "End-to-end service query latency.",
+            "histogram",
+        )
+        self.passes = registry.register(
+            "silkmoth_passes_total",
+            "Cold pipeline passes by backend and scheme.",
+            "counter",
+            ("backend", "scheme"),
+        )
+        self.stage_seconds = registry.register(
+            "silkmoth_stage_seconds_total",
+            "Cumulative wall seconds per pipeline stage.",
+            "counter",
+            ("stage",),
+        )
+        self.pass_seconds = registry.register(
+            "silkmoth_pass_seconds",
+            "Wall seconds of one cold pipeline pass.",
+            "histogram",
+            ("backend",),
+        )
+        self.candidates = registry.register(
+            "silkmoth_candidates_total",
+            "Candidate-funnel counts by funnel point.",
+            "counter",
+            ("stage",),
+        )
+        self.full_scans = registry.register(
+            "silkmoth_full_scans_total",
+            "Passes that fell back to a full scan.",
+            "counter",
+        )
+        self.sim_cache = registry.register(
+            "silkmoth_sim_cache_lookups_total",
+            "Similarity-kernel memo lookups by outcome.",
+            "counter",
+            ("result",),
+        )
+        self.shards_routed = registry.register(
+            "silkmoth_shards_routed_total",
+            "Shards actually queried across cluster passes.",
+            "counter",
+        )
+        self.shards_skipped = registry.register(
+            "silkmoth_shards_skipped_total",
+            "Shards pruned by signature routing.",
+            "counter",
+        )
+        self.broadcasts = registry.register(
+            "silkmoth_broadcasts_total",
+            "Cluster passes that had to fan out to every shard.",
+            "counter",
+        )
+        self.mutations = registry.register(
+            "silkmoth_mutations_total",
+            "Index mutations by kind (add/remove/update/compact).",
+            "counter",
+            ("kind",),
+        )
+        self.snapshots = registry.register(
+            "silkmoth_snapshot_io_total",
+            "Snapshot loads and saves.",
+            "counter",
+            ("direction",),
+        )
+        self.transport_errors = registry.register(
+            "silkmoth_transport_errors_total",
+            "Shard transport round-trips that raised.",
+            "counter",
+        )
+        self.autocal_exports = registry.register(
+            "silkmoth_autocal_exports_total",
+            "Cost profiles derived by the auto-calibration sampler.",
+            "counter",
+        )
+
+
+_handles: Optional[_Handles] = None
+
+
+def handles() -> _Handles:
+    """Current handle set, rebuilt if the registry was reset."""
+    global _handles
+    registry = get_registry()
+    if _handles is None or _handles.registry is not registry:
+        _handles = _Handles(registry)
+    return _handles
+
+
+def observe_pass(stats) -> None:
+    """Fold one cold-pass ``PassStats`` into the registry."""
+    h = handles()
+    h.passes.inc(backend=stats.backend or "unknown", scheme=stats.scheme or "unknown")
+    total = 0.0
+    for stage, seconds in stats.stage_seconds.items():
+        h.stage_seconds.inc(seconds, stage=stage)
+        total += seconds
+    h.pass_seconds.observe(total, backend=stats.backend or "unknown")
+    for label, attr in _FUNNEL_STAGES:
+        h.candidates.inc(getattr(stats, attr), stage=label)
+    if stats.full_scan:
+        h.full_scans.inc()
+    if stats.sim_cache_hits:
+        h.sim_cache.inc(stats.sim_cache_hits, result="hit")
+    if stats.sim_cache_misses:
+        h.sim_cache.inc(stats.sim_cache_misses, result="miss")
+
+
+def observe_query(latency: float, cache_hit: bool) -> None:
+    """Record one service query's latency and cache outcome."""
+    h = handles()
+    h.queries.inc(result="hit" if cache_hit else "miss")
+    h.query_latency.observe(latency)
+
+
+def observe_routing(cluster_pass) -> None:
+    """Record one ``ClusterPassStats`` worth of routing outcomes."""
+    h = handles()
+    h.shards_routed.inc(cluster_pass.shards_routed)
+    h.shards_skipped.inc(cluster_pass.shards_skipped)
+    if cluster_pass.shards_total and (
+        cluster_pass.shards_routed == cluster_pass.shards_total
+    ):
+        h.broadcasts.inc()
+
+
+def observe_mutation(kind: str) -> None:
+    """Record one index mutation (``add``/``remove``/``update``/...)."""
+    handles().mutations.inc(kind=kind)
+
+
+def observe_snapshot(direction: str) -> None:
+    """Record one snapshot ``save`` or ``load``."""
+    handles().snapshots.inc(direction=direction)
+
+
+def observe_transport_error() -> None:
+    """Record one failed shard transport round-trip."""
+    handles().transport_errors.inc()
+
+
+def observe_autocal_export() -> None:
+    """Record one auto-calibration profile derivation."""
+    handles().autocal_exports.inc()

@@ -30,6 +30,8 @@ from repro.core.records import SetCollection, SetRecord
 from repro.core.results import SearchResult
 from repro.core.stats import PassStats
 from repro.index.inverted import InvertedIndex
+from repro.obs.instrument import observe_pass
+from repro.obs.trace import span
 from repro.planner.planner import PlannerDecision, plan_query
 from repro.planner.report import format_decision, format_stage_list
 from repro.pipeline.stages import (
@@ -175,13 +177,19 @@ class QueryPlan:
         misses_before = memo.misses if memo is not None else 0
         state = PipelineState()
         timings = stats.stage_seconds
-        for stage in self.stages:
-            started = time.perf_counter()
-            stage.run(self, state, stats)
-            timings[stage.name] = (
-                timings.get(stage.name, 0.0) + time.perf_counter() - started
-            )
+        with span(
+            "pipeline.pass", backend=stats.backend, scheme=stats.scheme
+        ) as pass_span:
+            for stage in self.stages:
+                started = time.perf_counter()
+                with span(f"stage.{stage.name}"):
+                    stage.run(self, state, stats)
+                timings[stage.name] = (
+                    timings.get(stage.name, 0.0) + time.perf_counter() - started
+                )
+            pass_span.set_attr("matches", stats.matches)
         if memo is not None:
             stats.sim_cache_hits = memo.hits - hits_before
             stats.sim_cache_misses = memo.misses - misses_before
+        observe_pass(stats)
         return state.results, stats

@@ -33,8 +33,10 @@ from dataclasses import dataclass
 from repro.backends import BACKEND_ENV_VAR, KNOWN_BACKENDS
 from repro.core.config import SilkMothConfig
 from repro.index.inverted import InvertedIndex
+from repro.obs.trace import span
 from repro.planner.cost import (
     IndexProfile,
+    MeasuredCosts,
     choose_backend,
     choose_scheme,
     load_measured_costs,
@@ -133,6 +135,7 @@ def plan_query(
     config: SilkMothConfig,
     index: InvertedIndex | None = None,
     scheme_override: str | None = None,
+    measured: MeasuredCosts | None = None,
 ) -> PlannerDecision:
     """Validate *config* and resolve its open choices into a decision.
 
@@ -146,7 +149,22 @@ def plan_query(
     :meth:`repro.pipeline.QueryPlan.build` a concrete scheme instance,
     so the exactness gate always judges the scheme that will actually
     run.
+
+    *measured* supplies per-backend timings directly -- the
+    auto-calibration sampler's in-memory path (see
+    :mod:`repro.obs.autocal`).  When ``None``, the
+    ``SILKMOTH_COST_PROFILE`` file (if any) is consulted as before.
     """
+    with span("planner.plan"):
+        return _plan_query(config, index, scheme_override, measured)
+
+
+def _plan_query(
+    config: SilkMothConfig,
+    index: InvertedIndex | None,
+    scheme_override: str | None,
+    measured: MeasuredCosts | None,
+) -> PlannerDecision:
     reasons: list[str] = []
     kind = config.similarity
     alpha = config.alpha
@@ -226,7 +244,9 @@ def plan_query(
             backend, backend_source = env_backend, "env"
             reasons.append(f"backend={backend} from {BACKEND_ENV_VAR}")
         else:
-            backend, why = choose_backend(profile, load_measured_costs())
+            if measured is None:
+                measured = load_measured_costs()
+            backend, why = choose_backend(profile, measured)
             backend_source = "auto"
             reasons.append(f"backend={backend} auto-selected: {why}")
 

@@ -35,6 +35,9 @@ from repro.core.config import SilkMothConfig
 from repro.core.engine import SearchResult, SilkMoth
 from repro.core.records import SetCollection, SetRecord
 from repro.io.persistence import load_service_snapshot, save_service_snapshot
+from repro.obs.autocal import AutoCalibrator
+from repro.obs.instrument import observe_mutation
+from repro.obs.trace import span
 from repro.service.batch import parallel_cold_search, plan_batch
 from repro.service.cache import (
     LRUQueryCache,
@@ -65,6 +68,15 @@ class SilkMothService:
     compact_dead_fraction:
         Compact the inverted index whenever at least this fraction of
         its postings belongs to tombstoned sets.
+    autocal_interval:
+        Cold passes between auto-calibration samples (``None`` reads
+        ``SILKMOTH_AUTOCAL_INTERVAL``; 0 disables).  When a sample
+        fires, the engine re-plans against the live per-backend
+        timings -- the calibration loop closed in-process (see
+        :mod:`repro.obs.autocal`).
+    autocal_export_path:
+        Optional file each auto-calibration sample also (atomically)
+        writes a ``SILKMOTH_COST_PROFILE``-compatible profile to.
     """
 
     def __init__(
@@ -74,6 +86,8 @@ class SilkMothService:
         *,
         cache_capacity: int = 1024,
         compact_dead_fraction: float = 0.25,
+        autocal_interval: int | None = None,
+        autocal_export_path: str | Path | None = None,
     ):
         if not 0.0 < compact_dead_fraction <= 1.0:
             raise ValueError(
@@ -87,6 +101,7 @@ class SilkMothService:
         self.engine = SilkMoth(collection, config)
         self.cache = LRUQueryCache(cache_capacity)
         self.stats = ServiceStats()
+        self.autocal = AutoCalibrator(autocal_interval, autocal_export_path)
         self.compact_dead_fraction = compact_dead_fraction
         #: Bumped by every mutation; cached entries from older
         #: generations are never served.
@@ -153,6 +168,7 @@ class SilkMothService:
         """Append one set; it is searchable immediately."""
         record = self.engine.add_set(elements)
         self.stats.adds += 1
+        observe_mutation("add")
         self._mutated()
         self._maybe_replan()
         return record
@@ -162,6 +178,7 @@ class SilkMothService:
         record = self.collection.remove_set(set_id)
         self.index.note_removed(record)
         self.stats.removes += 1
+        observe_mutation("remove")
         self._mutated()
         self._maybe_compact()
         return record
@@ -176,6 +193,7 @@ class SilkMothService:
         self.index.note_removed(old)
         self.index.add_record(record)
         self.stats.updates += 1
+        observe_mutation("update")
         self._mutated()
         self._maybe_compact()
         return record
@@ -195,6 +213,7 @@ class SilkMothService:
         removed = self.index.compact()
         if removed:
             self.stats.compactions += 1
+            observe_mutation("compact")
             # Backend-side per-set caches (the numpy packed-token
             # store) shed the tombstoned sets too, or they would grow
             # with lifetime mutations.  Ask the backend that served so
@@ -237,7 +256,21 @@ class SilkMothService:
         # per-backend wall clock, which export_cost_profile() can turn
         # into planner calibration.
         self.stats.record_pass(pass_stats)
+        self._autocalibrate()
         return results
+
+    def _autocalibrate(self) -> None:
+        """Tick the auto-calibration sampler; re-plan when it fires.
+
+        Closes the calibration loop without ``SILKMOTH_COST_PROFILE``:
+        the sampler derives live per-backend timings from
+        :attr:`stats` and the engine re-plans against them directly.
+        """
+        costs = self.autocal.observe(self.stats)
+        if costs is not None:
+            with span("planner.autocal_replan"):
+                self.engine.replan(measured=costs)
+            self._planned_live_sets = self.collection.live_count
 
     def search(self, elements: Sequence[str]) -> list[SearchResult]:
         """All live sets related to the raw reference *elements*.
@@ -246,16 +279,20 @@ class SilkMothService:
         was answered since the last mutation; otherwise one full
         pipeline pass runs and the answer is cached.
         """
-        key = (reference_fingerprint(elements), self._config_fp)
-        started = time.perf_counter()
-        cached = self.cache.get(key, self.generation)
-        if cached is not None:
-            self.stats.record_query(time.perf_counter() - started, True)
-            return list(cached)
-        results = self._search_cold(elements)
-        self.cache.put(key, self.generation, tuple(results))
-        self.stats.record_query(time.perf_counter() - started, False)
-        return results
+        with span("service.query") as query_span:
+            key = (reference_fingerprint(elements), self._config_fp)
+            started = time.perf_counter()
+            with span("cache.probe"):
+                cached = self.cache.get(key, self.generation)
+            if cached is not None:
+                query_span.set_attr("cache", "hit")
+                self.stats.record_query(time.perf_counter() - started, True)
+                return list(cached)
+            query_span.set_attr("cache", "miss")
+            results = self._search_cold(elements)
+            self.cache.put(key, self.generation, tuple(results))
+            self.stats.record_query(time.perf_counter() - started, False)
+            return results
 
     def search_many(
         self,

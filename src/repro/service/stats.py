@@ -24,9 +24,10 @@ import json
 import os
 from collections import deque
 from dataclasses import dataclass, field
-from pathlib import Path
 
 from repro.core.stats import PassStats
+from repro.io.persistence import atomic_write_text
+from repro.obs.instrument import observe_query
 
 #: Schema identifier written by :meth:`ServiceStats.export_cost_profile`.
 COST_PROFILE_SCHEMA = "silkmoth-cost-profile/1"
@@ -124,6 +125,7 @@ class ServiceStats:
             self.cache_misses += 1
         self.query_seconds_total += latency
         self.query_latencies.append(latency)
+        observe_query(latency, cache_hit)
 
     def record_pass(self, pass_stats: PassStats) -> None:
         """Fold one cold pipeline pass's :class:`PassStats` in.
@@ -147,7 +149,9 @@ class ServiceStats:
             entry["seconds"] += pass_seconds
             entry["passes"] += 1
 
-    def export_cost_profile(self, path: "str | os.PathLike") -> dict:
+    def export_cost_profile(
+        self, path: "str | os.PathLike", extra: "dict | None" = None
+    ) -> dict:
         """Write accumulated live timings as planner calibration.
 
         The output parses through
@@ -159,6 +163,12 @@ class ServiceStats:
         backends.  A profile from a single backend loads fine but
         carries no comparative signal (the planner needs measurements
         for at least two backends to override its heuristics).
+
+        The write is atomic (temp file + ``os.replace``): a crash
+        mid-export can never leave a truncated profile for
+        ``SILKMOTH_COST_PROFILE`` (or the auto-calibration loop) to
+        choke on.  *extra* merges additional top-level sections into
+        the payload (the cluster adds its merged index profile).
 
         Raises
         ------
@@ -190,8 +200,10 @@ class ServiceStats:
                 for name, seconds in sorted(self.stage_seconds.items())
             },
         }
-        Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if extra:
+            payload.update(extra)
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         return payload
 

@@ -1,0 +1,229 @@
+"""The auto-calibration loop: live traffic re-calibrates the planner.
+
+Exercises the acceptance story end to end: a service whose sampler
+fires on live passes, exports a ``SILKMOTH_COST_PROFILE``-compatible
+profile and feeds ``replan(measured=...)`` directly -- with the env
+var never set -- plus the cluster variant where the coordinator
+samples shard-summed timings and broadcasts a ``replan`` command.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import SilkMothCluster
+from repro.cluster.shard import ShardHost
+from repro.core.config import SilkMothConfig
+from repro.core.stats import PassStats
+from repro.obs.autocal import (
+    AUTOCAL_ENV,
+    AUTOCAL_SOURCE,
+    AutoCalibrator,
+    derive_measured_costs,
+    resolve_autocal_interval,
+)
+from repro.core.records import SetCollection
+from repro.planner.cost import MEASURED_COSTS_ENV_VAR, load_measured_costs
+from repro.service import ServiceStats, SilkMothService
+
+DATA = [
+    ["apple pie", "apple tart"],
+    ["apple pie", "apple strudel"],
+    ["banana split", "banana bread"],
+    ["cherry pie", "cherry cola"],
+]
+
+
+def _service(config: SilkMothConfig, **kwargs) -> SilkMothService:
+    collection = SetCollection.from_strings(
+        DATA, kind=config.similarity, q=config.effective_q
+    )
+    return SilkMothService(config, collection, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def no_cost_profile_env(monkeypatch):
+    """The whole point: calibration works without the env var."""
+    monkeypatch.delenv(MEASURED_COSTS_ENV_VAR, raising=False)
+    monkeypatch.delenv(AUTOCAL_ENV, raising=False)
+
+
+def _two_backend_stats() -> ServiceStats:
+    stats = ServiceStats()
+    stats.record_pass(
+        PassStats(backend="python", stage_seconds={"verify": 0.2})
+    )
+    stats.record_pass(
+        PassStats(backend="numpy", stage_seconds={"verify": 0.1})
+    )
+    return stats
+
+
+class TestResolveInterval:
+    def test_default_is_disabled(self):
+        assert resolve_autocal_interval() == 0
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv(AUTOCAL_ENV, "25")
+        assert resolve_autocal_interval() == 25
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(AUTOCAL_ENV, "25")
+        assert resolve_autocal_interval(3) == 3
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(AUTOCAL_ENV, "often")
+        with pytest.raises(ValueError):
+            resolve_autocal_interval()
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            resolve_autocal_interval(-1)
+
+
+class TestDeriveMeasuredCosts:
+    def test_single_backend_has_no_signal(self):
+        stats = ServiceStats()
+        stats.record_pass(
+            PassStats(backend="python", stage_seconds={"verify": 0.2})
+        )
+        assert derive_measured_costs(stats) is None
+
+    def test_two_backends_yield_mean_per_pass(self):
+        stats = _two_backend_stats()
+        stats.record_pass(
+            PassStats(backend="python", stage_seconds={"verify": 0.4})
+        )
+        costs = derive_measured_costs(stats)
+        assert costs.source == AUTOCAL_SOURCE
+        assert costs.backend_seconds["python"] == pytest.approx(0.3)
+        assert costs.backend_seconds["numpy"] == pytest.approx(0.1)
+
+
+class TestAutoCalibrator:
+    def test_disabled_never_fires(self):
+        sampler = AutoCalibrator(0)
+        stats = _two_backend_stats()
+        assert all(sampler.observe(stats) is None for _ in range(10))
+        assert sampler.samples == 0
+
+    def test_fires_every_interval_and_resets(self):
+        sampler = AutoCalibrator(3)
+        stats = _two_backend_stats()
+        fired = [sampler.observe(stats) is not None for _ in range(9)]
+        assert fired == [False, False, True] * 3
+        assert sampler.samples == 3
+
+    def test_holds_fire_without_comparative_signal(self):
+        sampler = AutoCalibrator(1)
+        stats = ServiceStats()
+        stats.record_pass(
+            PassStats(backend="python", stage_seconds={"verify": 0.2})
+        )
+        assert sampler.observe(stats) is None
+        assert sampler.samples == 0
+
+    def test_export_path_writes_loadable_profile(self, tmp_path):
+        path = tmp_path / "autocal.json"
+        sampler = AutoCalibrator(1, export_path=path)
+        assert sampler.observe(_two_backend_stats()) is not None
+        measured = load_measured_costs(str(path))
+        assert measured.backend_seconds["python"] == pytest.approx(0.2)
+        assert measured.backend_seconds["numpy"] == pytest.approx(0.1)
+
+
+class TestServiceLoop:
+    def test_sampler_exports_and_replans_from_live_traffic(self, tmp_path):
+        path = tmp_path / "autocal.json"
+        service = _service(
+            SilkMothConfig(delta=0.3),
+            autocal_interval=1,
+            autocal_export_path=path,
+        )
+        # Live passes run one backend; seed a second so the sampler
+        # has the comparative signal it refuses to act without.
+        service.stats.record_pass(
+            PassStats(backend="numpy", stage_seconds={"verify": 99.0})
+        )
+        before = service.search(["apple pie", "apple tart"])
+        assert service.autocal.samples >= 1
+        # The export is SILKMOTH_COST_PROFILE-compatible -- but nothing
+        # here ever set that env var (autouse fixture deletes it).
+        measured = load_measured_costs(str(path))
+        assert "python" in measured.backend_seconds
+        assert "numpy" in measured.backend_seconds
+        # Re-planning under live costs never changes answers.
+        after = service.search(["apple pie", "apple tart"])
+        assert [(r.set_id, r.score) for r in before] == [
+            (r.set_id, r.score) for r in after
+        ]
+
+    def test_replan_consumed_the_measured_costs(self):
+        pytest.importorskip("numpy")
+        service = _service(SilkMothConfig(delta=0.3), autocal_interval=1)
+        # Make the seeded numpy timing absurdly slow: the measured
+        # decision must name python and cite the sampler as source.
+        service.stats.record_pass(
+            PassStats(backend="numpy", stage_seconds={"verify": 99.0})
+        )
+        service.search(["apple pie", "apple tart"])
+        decision = service.engine.decision
+        assert decision.backend == "python"
+        assert any(AUTOCAL_SOURCE in reason for reason in decision.reasons)
+
+    def test_interval_zero_leaves_planner_untouched(self):
+        service = _service(SilkMothConfig(delta=0.3))
+        assert not service.autocal.enabled
+        service.search(["apple pie", "apple tart"])
+        assert service.autocal.samples == 0
+
+
+class TestClusterLoop:
+    def test_coordinator_samples_and_exports_merged_profile(self, tmp_path):
+        path = tmp_path / "cluster_autocal.json"
+        with SilkMothCluster.from_sets(
+            DATA,
+            SilkMothConfig(delta=0.3),
+            shards=2,
+            transport="inline",
+            autocal_interval=1,
+            autocal_export_path=path,
+        ) as cluster:
+            cluster.stats.record_pass(
+                PassStats(backend="numpy", stage_seconds={"verify": 99.0})
+            )
+            cluster.search(["apple pie", "apple tart"])
+            assert cluster.autocal.samples >= 1
+            payload = json.loads(path.read_text())
+            # The cluster export carries the merged shard index profile
+            # next to the standard calibration sections.
+            assert "index_profile" in payload
+            assert load_measured_costs(str(path)) is not None
+
+    def test_shards_adopt_broadcast_timings(self):
+        pytest.importorskip("numpy")
+        with SilkMothCluster.from_sets(
+            DATA,
+            SilkMothConfig(delta=0.3),
+            shards=2,
+            transport="inline",
+            autocal_interval=1,
+        ) as cluster:
+            cluster.stats.record_pass(
+                PassStats(backend="numpy", stage_seconds={"verify": 99.0})
+            )
+            cluster.search(["apple pie", "apple tart"])
+            for info in cluster.shard_infos():
+                decision = info["decision"]
+                assert decision["backend"] == "python"
+
+    def test_shard_replan_command_returns_backend(self):
+        host = ShardHost(SilkMothConfig(delta=0.3), DATA)
+        backend = host.handle(
+            "replan", ({"python": 0.1, "numpy": 99.0},)
+        )
+        assert backend in ("python", "numpy")
+        pytest.importorskip("numpy")
+        assert backend == "python"

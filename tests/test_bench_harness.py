@@ -83,6 +83,14 @@ class TestTrajectory:
         assert payload["cpus"] >= 1
         assert "workers:" in format_trajectory(payload)
 
+    def test_payload_stamps_provenance(self):
+        payload = run_trajectory(scale=0.05, backends=("python",))
+        # The machine/code stamps sit next to cpus so two committed
+        # trajectory points are attributable; both degrade to
+        # "unknown" rather than failing off-git or off-network.
+        assert isinstance(payload["git_sha"], str) and payload["git_sha"]
+        assert isinstance(payload["hostname"], str) and payload["hostname"]
+
     def test_write_trajectory_round_trips(self, tmp_path):
         path = tmp_path / "BENCH_test.json"
         payload = write_trajectory(path, scale=0.05, backends=("python",))

@@ -94,3 +94,45 @@ def test_stats_round_trip_preserves_calibration_fields():
     assert restored.backend_seconds["python"]["passes"] == 2
     # The restored stats keep exporting correctly.
     assert restored.backend_seconds["python"]["seconds"] == pytest.approx(0.6)
+
+
+def test_failed_export_never_corrupts_an_existing_profile(tmp_path, monkeypatch):
+    """Atomicity: a crash mid-export leaves the old profile intact.
+
+    The write goes to a sibling temp file first and only an
+    ``os.replace`` publishes it; simulate the crash at the rename and
+    assert the previous good profile survives byte-for-byte with no
+    temp debris left behind.
+    """
+    import os
+
+    import repro.io.persistence as persistence
+
+    stats = _stats_with_passes()
+    path = tmp_path / "profile.json"
+    stats.export_cost_profile(path)
+    original = path.read_text()
+
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash at publish")
+
+    monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+    stats.record_pass(
+        PassStats(backend="python", stage_seconds={"verify": 1.0})
+    )
+    with pytest.raises(OSError):
+        stats.export_cost_profile(path)
+    monkeypatch.setattr(persistence.os, "replace", real_replace)
+    assert path.read_text() == original
+    assert load_measured_costs(str(path)) is not None
+    assert [p.name for p in tmp_path.iterdir()] == ["profile.json"]
+
+
+def test_failed_export_to_missing_directory_leaves_nothing(tmp_path):
+    stats = _stats_with_passes()
+    target = tmp_path / "no" / "such" / "dir" / "profile.json"
+    with pytest.raises(OSError):
+        stats.export_cost_profile(target)
+    assert list(tmp_path.iterdir()) == []

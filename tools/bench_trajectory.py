@@ -61,8 +61,23 @@ def main(argv=None) -> int:
         scale=args.scale,
         backends=tuple(args.backend) if args.backend else (),
     )
+    if payload.get("cpus", 0) == 1:
+        print(
+            "=" * 72
+            + "\nWARNING: this machine reports a single CPU.  The "
+            "cluster_discover\nworker-scaling curve is meaningless at 1 "
+            "core (process shards just\ntime-slice), and kernel timings "
+            "are noisier.  Do NOT commit this file\nas a trajectory "
+            "point; rerun on a multi-core machine.\n" + "=" * 72,
+            file=sys.stderr,
+        )
     print(format_trajectory(payload))
-    print(f"wrote {args.output}")
+    print(
+        f"wrote {args.output} "
+        f"(git {payload.get('git_sha', 'unknown')}, "
+        f"host {payload.get('hostname', 'unknown')}, "
+        f"{payload.get('cpus', '?')} cpu(s))"
+    )
     return 0
 
 

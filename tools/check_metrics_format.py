@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-format exposition (version 0.0.4).
+
+CI's telemetry smoke leg pipes ``silkmoth stats --metrics prom``
+through this tool so a malformed exposition -- which a real Prometheus
+scraper would reject silently or partially -- fails the build instead.
+The checks mirror what ``repro.obs.export.to_prometheus_text``
+promises:
+
+* metric and label names match the Prometheus naming grammar;
+* every sample is preceded by ``# HELP`` and ``# TYPE`` lines for its
+  family, and the TYPE is one of counter/gauge/histogram;
+* sample values parse as floats and counter samples are non-negative;
+* histogram ``le`` buckets are sorted, cumulative (monotone
+  non-decreasing counts), and end with ``le="+Inf"``;
+* each histogram series' ``_count`` equals its ``+Inf`` bucket.
+
+Usage::
+
+    silkmoth stats data.txt --metrics prom | python tools/check_metrics_format.py
+    python tools/check_metrics_format.py metrics.prom
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+#: Prometheus metric-name grammar.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Prometheus label-name grammar.
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One sample line: name, optional {labels}, value.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+#: One label pair inside the braces (values are escaped strings).
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+#: Suffixes a histogram family's samples may carry.
+_HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, types: dict) -> str:
+    """Map a sample name to its declaring family (histogram suffixes)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in _HISTO_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def lint(text: str) -> list:
+    """Return a list of ``(line_number, message)`` problems (empty = clean)."""
+    problems = []
+    helps: dict = {}
+    types: dict = {}
+    # (family, label-key) -> list of (le, cumulative count) in file order.
+    buckets: dict = {}
+    counts: dict = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append((lineno, "malformed HELP line"))
+                continue
+            helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _TYPES:
+                problems.append((lineno, "malformed TYPE line"))
+                continue
+            if parts[2] in types:
+                problems.append((lineno, f"duplicate TYPE for {parts[2]}"))
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comments are legal
+        match = SAMPLE_RE.match(line)
+        if not match:
+            problems.append((lineno, f"unparseable sample line: {line!r}"))
+            continue
+        name, label_blob, raw_value = match.groups()
+        if not METRIC_NAME_RE.match(name):
+            problems.append((lineno, f"invalid metric name {name!r}"))
+            continue
+        family = _family_of(name, types)
+        if family not in types:
+            problems.append((lineno, f"sample {name!r} has no TYPE line"))
+        if family not in helps:
+            problems.append((lineno, f"sample {name!r} has no HELP line"))
+        labels = {}
+        if label_blob:
+            for label_name, label_value in LABEL_PAIR_RE.findall(label_blob):
+                if not LABEL_NAME_RE.match(label_name):
+                    problems.append(
+                        (lineno, f"invalid label name {label_name!r}")
+                    )
+                labels[label_name] = label_value
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append((lineno, f"unparseable value {raw_value!r}"))
+            continue
+        kind = types.get(family)
+        if kind == "counter" and value < 0:
+            problems.append((lineno, f"counter {name} is negative"))
+        if kind == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                problems.append((lineno, f"{name} bucket missing le label"))
+                continue
+            bound = math.inf if le == "+Inf" else None
+            if bound is None:
+                try:
+                    bound = float(le)
+                except ValueError:
+                    problems.append((lineno, f"unparseable le bound {le!r}"))
+                    continue
+            key = (family, tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            )))
+            buckets.setdefault(key, []).append((lineno, bound, value))
+        if kind == "histogram" and name.endswith("_count"):
+            key = (family, tuple(sorted(labels.items())))
+            counts[key] = (lineno, value)
+    for (family, label_key), series in buckets.items():
+        bounds = [bound for _, bound, _ in series]
+        values = [value for _, _, value in series]
+        first_line = series[0][0]
+        if bounds != sorted(bounds):
+            problems.append(
+                (first_line, f"{family} buckets not sorted by le bound")
+            )
+        if values != sorted(values):
+            problems.append(
+                (first_line, f"{family} bucket counts not cumulative")
+            )
+        if not bounds or bounds[-1] != math.inf:
+            problems.append(
+                (first_line, f'{family} histogram missing le="+Inf" bucket')
+            )
+            continue
+        count = counts.get((family, label_key))
+        if count is None:
+            problems.append((first_line, f"{family} histogram missing _count"))
+        elif count[1] != values[-1]:
+            problems.append(
+                (
+                    count[0],
+                    f"{family}_count {count[1]:g} != +Inf bucket "
+                    f"{values[-1]:g}",
+                )
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """Entry point: lint stdin or the file named in argv; 0 when clean."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        with open(argv[0], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("error: empty exposition", file=sys.stderr)
+        return 1
+    problems = lint(text)
+    for lineno, message in problems:
+        print(f"line {lineno}: {message}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"exposition OK ({samples} sample line(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
