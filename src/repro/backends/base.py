@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import abc
 from collections import defaultdict
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator, Optional, Sequence, Tuple
 
+from repro.backends.select import merge_distinct_postings_python
 from repro.core.records import SetCollection, SetRecord
 from repro.sim.functions import SimilarityFunction
 from repro.sim.memo import SimilarityMemo
@@ -123,8 +124,63 @@ class ComputeBackend(abc.ABC):
         """Elementwise ``scalar + values`` (check-filter bound aggregation)."""
 
     # ------------------------------------------------------------------
+    # Index-traversal kernels
+    # ------------------------------------------------------------------
+    def merge_distinct_postings(
+        self,
+        key_arrays: Sequence[Sequence[int]],
+        skip_set: Optional[int],
+        deleted: frozenset,
+        sizes: Sequence[int],
+        size_range: Optional[Tuple[float, float]],
+    ) -> Tuple[Sequence[int], int, int, int]:
+        """Distinct gated posting keys across sorted packed runs.
+
+        The candidate-selection merge (Section 5.1): *key_arrays* are
+        the probed tokens' packed posting arrays (each sorted, unique,
+        handed over in ascending length order), and the result is the
+        sorted distinct ``(set_id << 32) | element_index`` keys that
+        survive the self-match (*skip_set*), tombstone (*deleted*) and
+        cardinality (*size_range* over *sizes*) gates -- plus the
+        select-funnel accounting ``(postings_scanned, distinct_pairs,
+        size_gate_drops)``.
+
+        The default is the shared pure-Python galloping merge
+        (:mod:`repro.backends.select`); the numpy backend substitutes a
+        vectorised sorted-run path.  Implementations must return
+        identical keys and counts for identical inputs.
+        """
+        return merge_distinct_postings_python(
+            key_arrays, skip_set, deleted, sizes, size_range
+        )
+
+    # ------------------------------------------------------------------
     # Similarity kernels
     # ------------------------------------------------------------------
+    def edit_values(
+        self,
+        phi: SimilarityFunction,
+        tasks: Sequence[Tuple[str, str, float]],
+        memo: SimilarityMemo | None = None,
+    ) -> list[float]:
+        """Floored ``phi_alpha(x, y)`` per ``(x, y, floor)`` task.
+
+        Edit kinds only; each entry has the exact semantics of
+        :meth:`repro.sim.memo.SimilarityMemo.edit_value` (memo enabled)
+        or :meth:`repro.sim.functions.SimilarityFunction.edit_at_least`
+        -- a pure function of the two strings and the floor, so backends
+        may batch or reorder the underlying distance computations freely
+        (the numpy backend runs a lane-parallel Myers kernel) without
+        changing a single returned float.  Whether the cross-stage memo
+        is consulted/populated is a backend throughput decision; it can
+        shift cache hit counters, never values.
+        """
+        if memo is not None and memo.enabled:
+            return [
+                memo.edit_value(phi, x, y, floor) for x, y, floor in tasks
+            ]
+        return [phi.edit_at_least(x, y, floor) for x, y, floor in tasks]
+
     @abc.abstractmethod
     def token_similarities(
         self,

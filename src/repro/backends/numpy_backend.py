@@ -18,14 +18,16 @@ identical closed-form formulas.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.backends.base import ComputeBackend, fill_weight_matrix, iter_token_pairs
 from repro.backends.packed import PackedTokenStore, intersection_counts, probe_array
+from repro.backends.select import merge_distinct_postings_python
 from repro.core.records import SetCollection, SetRecord
+from repro.index.inverted import PACK_SHIFT
 from repro.matching.hungarian import hungarian_max_weight_numpy
 from repro.sim.functions import SimilarityFunction, SimilarityKind
 
@@ -90,6 +92,15 @@ class NumpyBackend(ComputeBackend):
         #: Same idea for the dense token weight matrix: below this many
         #: cells the shared scalar sparse fill is faster.
         self.packed_min_cells = 4096
+        #: Minimum postings scanned per probe before the vectorised
+        #: selection merge dispatches; smaller probes take the shared
+        #: pure-Python galloping merge, whose constant factors win
+        #: before array lifting can amortise.
+        self.select_min_postings = 64
+        #: Minimum task count before :meth:`edit_values` runs the
+        #: lane-parallel Myers kernel; below it the scalar banded path
+        #: wins (per-step array dispatch cannot amortise).
+        self.edit_batch_min_tasks = 64
 
     def _store(self, collection: SetCollection) -> PackedTokenStore:
         """The packed-token store for *collection* (created on first use)."""
@@ -129,7 +140,212 @@ class NumpyBackend(ComputeBackend):
             return []
         return (scalar + np.asarray(values, dtype=np.float64)).tolist()
 
+    # -- index-traversal kernels ---------------------------------------
+    def merge_distinct_postings(
+        self,
+        key_arrays: Sequence[Sequence[int]],
+        skip_set: Optional[int],
+        deleted: frozenset,
+        sizes: Sequence[int],
+        size_range: Optional[Tuple[float, float]],
+    ) -> Tuple[Sequence[int], int, int, int]:
+        """Vectorised selection merge over packed posting arrays.
+
+        Concatenates the probed tokens' int64 arrays (zero-copy
+        ``frombuffer`` views), deduplicates with one ``np.unique``
+        sorted run, and applies the self-match / tombstone / size gates
+        as boolean masks -- per merged *pair*, not per scanned posting.
+        Probes under :attr:`select_min_postings` postings fall back to
+        the shared pure-Python merge, which is faster at that scale.
+        Keys and funnel counts are bit-identical to the reference
+        implementation.
+        """
+        scanned = sum(len(run) for run in key_arrays)
+        if not self.packed_enabled or scanned < self.select_min_postings:
+            return merge_distinct_postings_python(
+                key_arrays, skip_set, deleted, sizes, size_range
+            )
+        views = [
+            np.frombuffer(run, dtype=np.int64)
+            for run in key_arrays
+            if len(run)
+        ]
+        if not views:
+            merged = np.empty(0, dtype=np.int64)
+        elif len(views) == 1:
+            # A single posting array is already sorted and unique.
+            merged = views[0]
+        else:
+            merged = np.unique(np.concatenate(views))
+        distinct = int(merged.size)
+        size_drops = 0
+        mask = None
+        if skip_set is not None or deleted or size_range is not None:
+            set_ids = merged >> PACK_SHIFT
+            if skip_set is not None:
+                mask = set_ids != skip_set
+            if deleted:
+                alive = ~np.isin(
+                    set_ids,
+                    np.fromiter(deleted, dtype=np.int64, count=len(deleted)),
+                )
+                mask = alive if mask is None else mask & alive
+            if size_range is not None:
+                gated = np.frombuffer(sizes, dtype=np.int64)[set_ids]
+                size_ok = (gated >= size_range[0]) & (gated <= size_range[1])
+                if mask is None:
+                    size_drops = distinct - int(np.count_nonzero(size_ok))
+                    mask = size_ok
+                else:
+                    size_drops = int(np.count_nonzero(mask & ~size_ok))
+                    mask &= size_ok
+        kept = merged if mask is None else merged[mask]
+        return kept.tolist(), scanned, distinct, size_drops
+
     # -- similarity kernels --------------------------------------------
+    def edit_values(self, phi, tasks, memo=None) -> list[float]:
+        """Batched floored ``phi_alpha`` via the lane-parallel Myers kernel.
+
+        Tasks whose pattern fits one 64-bit word (``0 < len(x) <= 64``,
+        ASCII strings, positive cutoff) are scored together: one Myers
+        bit-vector state per task, advanced over the candidate strings'
+        character columns as uint64 array operations -- the exact
+        recurrence of :func:`repro.sim.myers.myers_distance`, so the
+        distances (and therefore every returned float, computed through
+        :meth:`~repro.sim.functions.SimilarityFunction.edit_score_from_distance`)
+        are bit-identical to the scalar path.  Everything else, and
+        batches too small to amortise the array dispatch, falls back to
+        the scalar implementation.  The cross-stage memo is bypassed on
+        the vector path (recomputing is cheaper than 2 dict round-trips
+        per task); values are unaffected because the similarity is a
+        pure function of the strings.
+        """
+        if not self.packed_enabled or len(tasks) < self.edit_batch_min_tasks:
+            return super().edit_values(phi, tasks, memo=memo)
+        alpha = phi.alpha
+        values: list = [None] * len(tasks)
+        vec: list[int] = []
+        bands: dict[int, int] = {}
+        for k, (x, y, floor) in enumerate(tasks):
+            cutoff = floor if floor > alpha else alpha
+            if (
+                cutoff > 0.0
+                and 0 < len(x) <= 64
+                and x.isascii()
+                and y.isascii()
+            ):
+                if x == y:
+                    values[k] = 1.0
+                else:
+                    max_ld = phi.edit_band(len(x), len(y), cutoff)
+                    if abs(len(x) - len(y)) > max_ld:
+                        values[k] = 0.0
+                    else:
+                        bands[k] = max_ld
+                        vec.append(k)
+            elif memo is not None and memo.enabled:
+                values[k] = memo.edit_value(phi, x, y, floor)
+            else:
+                values[k] = phi.edit_at_least(x, y, floor)
+        if vec:
+            distances = self._myers_lanes([tasks[k] for k in vec])
+            for k, distance in zip(vec, distances):
+                x, y, floor = tasks[k]
+                if distance > bands[k]:
+                    values[k] = 0.0
+                else:
+                    values[k] = phi.edit_score_from_distance(
+                        len(x), len(y), distance, floor
+                    )
+        return values
+
+    def _myers_lanes(self, tasks: Sequence[tuple]) -> list[int]:
+        """Exact Levenshtein distances, one uint64 Myers lane per task.
+
+        Each task contributes one lane of bit-vector state (``vp``,
+        ``vn``, running score); every step consumes one character column
+        across all candidate strings.  Lanes are sorted by candidate
+        length (longest first) so finished lanes simply fall out of the
+        active prefix -- no per-step masking.  Patterns are capped at 64
+        characters (one word) and strings at ASCII by the caller.
+        """
+        count = len(tasks)
+        # One occurrence-bitmask table row per distinct pattern string.
+        row_of: dict[str, int] = {}
+        table_rows: list[list[int]] = []
+        row_idx = np.empty(count, dtype=np.intp)
+        mask_list: list[int] = []
+        high_list: list[int] = []
+        m_list: list[int] = []
+        encoded: list[bytes] = []
+        lens = np.empty(count, dtype=np.int64)
+        for k, (x, y, _) in enumerate(tasks):
+            row = row_of.get(x)
+            if row is None:
+                masks = [0] * 128
+                bit = 1
+                for ch in x:
+                    code = ord(ch)
+                    masks[code] |= bit
+                    bit <<= 1
+                row = row_of[x] = len(table_rows)
+                table_rows.append(masks)
+            row_idx[k] = row
+            m = len(x)
+            m_list.append(m)
+            mask_list.append((1 << m) - 1)
+            high_list.append(1 << (m - 1))
+            data = y.encode("ascii")
+            encoded.append(data)
+            lens[k] = len(data)
+        max_len = int(lens.max())
+        if max_len == 0:
+            # Every candidate is empty: the distance is the pattern length.
+            return m_list
+        eq_table = np.array(table_rows, dtype=np.uint64)
+        codes = np.frombuffer(
+            b"".join(data.ljust(max_len, b"\0") for data in encoded),
+            dtype=np.uint8,
+        ).reshape(count, max_len)
+        # Longest candidates first: the active lanes are always a prefix.
+        order = np.argsort(-lens, kind="stable")
+        codes = codes[order]
+        row_idx = row_idx[order]
+        lens_sorted = lens[order]
+        mask = np.array(mask_list, dtype=np.uint64)[order]
+        high = np.array(high_list, dtype=np.uint64)[order]
+        score = np.array(m_list, dtype=np.int64)[order]
+        vp = mask.copy()
+        vn = np.zeros(count, dtype=np.uint64)
+        # Active lanes per step: lens_sorted is descending, so the lane
+        # count at step j is the number of candidates longer than j.
+        active = count - np.searchsorted(
+            lens_sorted[::-1], np.arange(max_len), side="right"
+        )
+        one = np.uint64(1)
+        for j in range(max_len):
+            n = int(active[j])
+            if n == 0:
+                break
+            lanes = slice(0, n)
+            vp_n = vp[lanes]
+            vn_n = vn[lanes]
+            mask_n = mask[lanes]
+            eq = eq_table[row_idx[lanes], codes[lanes, j]]
+            d0 = (((eq & vp_n) + vp_n) ^ vp_n) | eq | vn_n
+            hp = vn_n | (mask_n & ~(d0 | vp_n))
+            hn = d0 & vp_n
+            high_n = high[lanes]
+            score[lanes] += (hp & high_n) != 0
+            score[lanes] -= (hn & high_n) != 0
+            hp = ((hp << one) | one) & mask_n
+            hn = (hn << one) & mask_n
+            vp[lanes] = hn | (mask_n & ~(d0 | hp))
+            vn[lanes] = d0 & hp
+        distances = np.empty(count, dtype=np.int64)
+        distances[order] = score
+        return distances.tolist()
+
     def token_similarities(
         self,
         probe: frozenset[int],

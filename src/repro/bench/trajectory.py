@@ -49,12 +49,18 @@ from repro.backends import available_backends, get_backend
 from repro.core.config import SilkMothConfig
 from repro.core.engine import SilkMoth
 from repro.core.records import SetCollection
+from repro.filters.check import use_select_kernel
 from repro.sim.functions import SimilarityKind
 from repro.sim.levenshtein import use_kernel
 from repro.sim.memo import DEFAULT_SIM_CACHE_SIZE
 
 #: Output schema identifier (bump on incompatible layout changes).
 SCHEMA = "silkmoth-perf-trajectory/1"
+
+#: Workload names :func:`run_trajectory` knows how to run (the
+#: ``--workload`` filter of ``tools/bench_trajectory.py`` validates
+#: against this).
+KNOWN_WORKLOADS = ("edit_verify", "token_discover", "cluster_discover")
 
 #: Alphabet the synthetic element strings draw from.
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz "
@@ -144,14 +150,18 @@ def _time_search(
     backend: str,
     optimized: bool,
     repeats: int = 2,
+    select_kernel: "str | None" = None,
 ) -> dict:
     """Run every-reference search under one mode; returns measurements.
 
     *optimized* selects the shipping configuration (Myers kernel,
-    pair memo, packed token arrays); the baseline forces every
-    pre-overhaul path: the classic DP kernel, the memo disabled, and
-    -- on backends that have one, i.e. numpy -- the frozenset token
-    kernels instead of the packed arrays.  Index build is excluded
+    pair memo, packed token arrays, packed select kernel); the baseline
+    forces every pre-overhaul path: the classic DP kernel, the memo
+    disabled, the per-posting ``reference`` select kernel, and -- on
+    backends that have one, i.e. numpy -- the frozenset token kernels
+    instead of the packed arrays.  *select_kernel* overrides the
+    mode-implied selection kernel (the select A/B measures optimized
+    mode under ``reference`` vs ``packed``).  Index build is excluded
     (paper Section 8.2 convention for SEARCH).  The run executes
     *repeats* times on fresh engines, keeping the best wall clock
     (standard noise suppression) and the first run's counters (they
@@ -172,6 +182,9 @@ def _time_search(
     packed_before = getattr(backend_instance, "packed_enabled", None)
     if packed_before is not None:
         backend_instance.packed_enabled = optimized
+    if select_kernel is None:
+        select_kernel = "packed" if optimized else "reference"
+    previous_select = use_select_kernel(select_kernel)
     previous = use_kernel("auto" if optimized else "dp")
     try:
         elapsed = float("inf")
@@ -188,6 +201,7 @@ def _time_search(
                 stats = engine.stats
     finally:
         use_kernel(previous)
+        use_select_kernel(previous_select)
         if packed_before is not None:
             backend_instance.packed_enabled = packed_before
     lookups = stats.sim_cache_hits + stats.sim_cache_misses
@@ -201,6 +215,9 @@ def _time_search(
         "sim_cache_hit_rate": round(stats.sim_cache_hits / lookups, 4)
         if lookups
         else 0.0,
+        "select_postings_scanned": stats.select_postings_scanned,
+        "select_distinct_pairs": stats.select_distinct_pairs,
+        "select_size_gate_drops": stats.select_size_gate_drops,
         "stage_seconds": {
             name: round(seconds, 6)
             for name, seconds in sorted(stats.stage_seconds.items())
@@ -366,9 +383,37 @@ def _workload_entry(
     backend: str,
     repeats: int = 2,
 ) -> dict:
-    """Baseline-vs-optimized measurements for one (workload, backend)."""
+    """Baseline-vs-optimized measurements for one (workload, backend).
+
+    Besides the classic baseline/optimized pair, the entry carries a
+    ``select_kernel`` A/B isolating the candidate-selection kernel:
+    optimized mode re-run with the per-posting ``reference`` kernel
+    against the shipping ``packed`` run, every other toggle identical.
+    The two runs must agree on every funnel counter (the kernels are
+    exactness-pinned); the A/B raises otherwise rather than committing
+    a divergent measurement.
+    """
     baseline = _time_search(sets, config, backend, optimized=False, repeats=repeats)
     optimized = _time_search(sets, config, backend, optimized=True, repeats=repeats)
+    reference_select = _time_search(
+        sets,
+        config,
+        backend,
+        optimized=True,
+        repeats=repeats,
+        select_kernel="reference",
+    )
+    for key in ("matches", "initial_candidates", "verified"):
+        if reference_select[key] != optimized[key]:  # pragma: no cover
+            raise AssertionError(
+                f"select kernels diverged on {key}: "
+                f"reference {reference_select[key]} != "
+                f"packed {optimized[key]}"
+            )
+    reference_seconds = reference_select["stage_seconds"].get("select", 0.0)
+    packed_seconds = optimized["stage_seconds"].get("select", 0.0)
+    scanned = optimized["select_postings_scanned"]
+    distinct = optimized["select_distinct_pairs"]
     speedup = (
         baseline["seconds"] / optimized["seconds"]
         if optimized["seconds"] > 0
@@ -379,51 +424,85 @@ def _workload_entry(
         "baseline": baseline,
         "optimized": optimized,
         "speedup": round(speedup, 3),
+        "select_kernel": {
+            "reference_select_seconds": reference_seconds,
+            "packed_select_seconds": packed_seconds,
+            "select_reduction": round(reference_seconds / packed_seconds, 3)
+            if packed_seconds > 0
+            else float("inf"),
+            "matches": optimized["matches"],
+            "initial_candidates": optimized["initial_candidates"],
+            "postings_scanned": scanned,
+            "distinct_pairs": distinct,
+            "dedup_ratio": round(scanned / distinct, 3) if distinct else 1.0,
+            "size_gate_drops": optimized["select_size_gate_drops"],
+        },
     }
 
 
-def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
+def run_trajectory(
+    scale: float = 1.0, backends: tuple = (), workloads: tuple = ()
+) -> dict:
     """Execute the pinned workloads and assemble the trajectory payload.
 
     *backends* names exactly which backends run; the default (empty)
     is every available backend.  An explicit selection is honoured as
-    given -- timing only the numpy backend is a valid use.  The
-    ``calibration`` section summarises optimized wall-clock per
-    backend for the planner's measured cost model (it needs at least
-    two backends to carry comparative signal).
+    given -- timing only the numpy backend is a valid use.
+    *workloads* restricts which of :data:`KNOWN_WORKLOADS` run (the
+    default, empty, is all of them) -- e.g. CI's bench smoke times the
+    select-dominated ``edit_verify`` alone.  The ``calibration``
+    section summarises optimized wall-clock per backend over whichever
+    kernel workloads ran, for the planner's measured cost model (it
+    needs at least two backends to carry comparative signal).
     """
     if not backends:
         backends = available_backends()
-    edit_sets, edit_config = edit_workload(scale)
-    token_sets, token_config = token_workload(scale)
-    workloads: dict = {}
+    if not workloads:
+        workloads = KNOWN_WORKLOADS
+    unknown = sorted(set(workloads) - set(KNOWN_WORKLOADS))
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"known: {', '.join(KNOWN_WORKLOADS)}"
+        )
+    run_edit = "edit_verify" in workloads
+    run_token = "token_discover" in workloads
+    if run_edit:
+        edit_sets, edit_config = edit_workload(scale)
+    if run_token:
+        token_sets, token_config = token_workload(scale)
+    entries: dict = {}
     calibration_backends: dict = {}
     for backend in backends:
-        edit_entry = _workload_entry(edit_sets, edit_config, backend)
-        # The token workload is two orders of magnitude cheaper, so it
-        # takes more repeats to push best-of-N noise below the
-        # regression signal it guards.
-        token_entry = _workload_entry(
-            token_sets, token_config, backend, repeats=7
-        )
+        optimized_runs = []
         suffix = "" if backend == "python" else f"_{backend}"
-        workloads[f"edit_verify{suffix}"] = edit_entry
-        workloads[f"token_discover{suffix}"] = token_entry
-        calibration_backends[backend] = {
-            "seconds": round(
-                edit_entry["optimized"]["seconds"]
-                + token_entry["optimized"]["seconds"],
-                6,
-            ),
-            "stage_seconds": _merge_stage_seconds(
-                edit_entry["optimized"]["stage_seconds"],
-                token_entry["optimized"]["stage_seconds"],
-            ),
-        }
+        if run_edit:
+            edit_entry = _workload_entry(edit_sets, edit_config, backend)
+            entries[f"edit_verify{suffix}"] = edit_entry
+            optimized_runs.append(edit_entry["optimized"])
+        if run_token:
+            # The token workload is two orders of magnitude cheaper, so
+            # it takes more repeats to push best-of-N noise below the
+            # regression signal it guards.
+            token_entry = _workload_entry(
+                token_sets, token_config, backend, repeats=7
+            )
+            entries[f"token_discover{suffix}"] = token_entry
+            optimized_runs.append(token_entry["optimized"])
+        if optimized_runs:
+            calibration_backends[backend] = {
+                "seconds": round(
+                    sum(run["seconds"] for run in optimized_runs), 6
+                ),
+                "stage_seconds": _merge_stage_seconds(
+                    *(run["stage_seconds"] for run in optimized_runs)
+                ),
+            }
     # Scale-out entry: one measurement series, not per backend (worker
     # shards plan their own backends), and excluded from calibration
     # (process fan-out wall clock is not a backend-speed signal).
-    workloads["cluster_discover"] = cluster_entry(scale)
+    if "cluster_discover" in workloads:
+        entries["cluster_discover"] = cluster_entry(scale)
     import multiprocessing
 
     return {
@@ -437,9 +516,13 @@ def run_trajectory(scale: float = 1.0, backends: tuple = ()) -> dict:
         "git_sha": _git_sha(),
         "hostname": _hostname(),
         "scale": scale,
-        "workloads": workloads,
+        "workloads": entries,
         "calibration": {
-            "workloads": ["edit_verify", "token_discover"],
+            "workloads": [
+                name
+                for name in ("edit_verify", "token_discover")
+                if name in workloads
+            ],
             "backends": calibration_backends,
         },
     }
@@ -488,9 +571,11 @@ def _merge_stage_seconds(*timings: dict) -> dict:
     return merged
 
 
-def write_trajectory(path, scale: float = 1.0, backends: tuple = ()) -> dict:
+def write_trajectory(
+    path, scale: float = 1.0, backends: tuple = (), workloads: tuple = ()
+) -> dict:
     """Run :func:`run_trajectory` and write the payload to *path* as JSON."""
-    payload = run_trajectory(scale=scale, backends=backends)
+    payload = run_trajectory(scale=scale, backends=backends, workloads=workloads)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
@@ -508,6 +593,13 @@ def format_trajectory(payload: dict) -> str:
             f"verified {optimized['verified']}, "
             f"memo hit rate {optimized['sim_cache_hit_rate']:.0%}"
         )
+        select_ab = entry.get("select_kernel")
+        if select_ab:
+            line += (
+                f"; select {select_ab['reference_select_seconds']:.3f}s -> "
+                f"{select_ab['packed_select_seconds']:.3f}s "
+                f"({select_ab['select_reduction']:.2f}x)"
+            )
         workers = entry.get("workers")
         if workers:
             curve = ", ".join(

@@ -37,6 +37,15 @@ class PassStats:
     #: stay 0 when the memo is disabled or the kind is token-based.
     sim_cache_hits: int = 0
     sim_cache_misses: int = 0
+    #: Select-funnel counters reported by the packed selection kernel
+    #: (:mod:`repro.filters.check`): raw posting keys scanned across
+    #: all probes, distinct (set, element) pairs after the merge dedup
+    #: (their ratio is the dedup ratio), and how many distinct pairs
+    #: the size gate alone dropped.  All stay 0 under the reference
+    #: kernel and on full-scan passes.
+    select_postings_scanned: int = 0
+    select_distinct_pairs: int = 0
+    select_size_gate_drops: int = 0
     #: Wall-clock seconds per stage, keyed by stage name
     #: ("signature", "select", "check", "nn", "verify").
     stage_seconds: dict = field(default_factory=dict)
@@ -59,6 +68,9 @@ class RunStats:
     matches: int = 0
     sim_cache_hits: int = 0
     sim_cache_misses: int = 0
+    select_postings_scanned: int = 0
+    select_distinct_pairs: int = 0
+    select_size_gate_drops: int = 0
     stage_seconds: dict = field(default_factory=dict)
     per_pass: list = field(default_factory=list, repr=False)
 
@@ -75,6 +87,9 @@ class RunStats:
         self.matches += stats.matches
         self.sim_cache_hits += stats.sim_cache_hits
         self.sim_cache_misses += stats.sim_cache_misses
+        self.select_postings_scanned += stats.select_postings_scanned
+        self.select_distinct_pairs += stats.select_distinct_pairs
+        self.select_size_gate_drops += stats.select_size_gate_drops
         for name, seconds in stats.stage_seconds.items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
         self.per_pass.append(stats)

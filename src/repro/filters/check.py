@@ -12,23 +12,90 @@ The per-candidate witnessed maxima are *exact* nearest-neighbour
 similarities (computation reuse, Section 5.2): any candidate element
 sharing no signature token with ``r_i`` is bounded by ``u_i`` anyway.
 
-The probe gathers all postings for one reference element first and then
-evaluates ``phi_alpha`` as one batch through the compute backend, so the
-numpy backend vectorises the similarity arithmetic; the pure-Python
-backend computes the identical scalars.
+Two interchangeable kernels drive the probe:
+
+``packed`` (the default)
+    The columnar index-traversal kernel.  Per reference element it
+    gathers the signature tokens' packed posting arrays
+    (:meth:`~repro.index.inverted.InvertedIndex.posting_keys`), hands
+    them -- shortest first -- to the compute backend's
+    :meth:`~repro.backends.base.ComputeBackend.merge_distinct_postings`
+    (a galloping sorted-run merge in pure Python, ``numpy.unique`` over
+    ``int64`` views on the numpy backend), and receives the distinct
+    gated ``(set_id, element_index)`` pairs with no per-posting tuple,
+    set or dict traffic.  Self-match, tombstone and size gates are
+    applied inside the merge at run level -- once per candidate set --
+    and skipped entirely when no gate applies.
+
+``reference``
+    The original per-posting loop, kept verbatim as the executable
+    oracle the packed kernel is property-tested against
+    (``tests/test_select_kernel.py``) and as an escape hatch
+    (``SILKMOTH_SELECT_KERNEL=reference``).
+
+Both kernels evaluate ``phi_alpha`` over identical pair sets with
+identical per-pair calls and record witnessed maxima in the same
+(reference-element, then empty-element) phase order, so candidate infos
+-- including ``best``-map insertion order, which downstream float
+summation observes -- are bit-identical.  The choice affects speed
+only, never results.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.backends import get_backend
 from repro.backends.base import ComputeBackend
 from repro.core.records import SetCollection, SetRecord
-from repro.index.inverted import InvertedIndex
+from repro.core.stats import PassStats
+from repro.index.inverted import PACK_MASK, PACK_SHIFT, InvertedIndex
+from repro.obs.trace import span
 from repro.sim.functions import SimilarityFunction
 from repro.sim.memo import SimilarityMemo
 from repro.signatures.base import Signature
+
+#: Environment variable selecting the candidate-selection kernel at
+#: import time (``packed`` is the columnar default, ``reference`` the
+#: original per-posting loop).
+SELECT_KERNEL_ENV_VAR = "SILKMOTH_SELECT_KERNEL"
+
+#: Kernel names accepted by :func:`use_select_kernel` / the environment
+#: variable.
+KNOWN_SELECT_KERNELS = ("packed", "reference")
+
+_select_kernel = "packed"
+
+
+def use_select_kernel(name: str) -> str:
+    """Select the candidate-selection kernel; returns the previous one.
+
+    Exists for the benchmark harness (which measures ``packed`` against
+    ``reference``) and for the property tests that pin their identity;
+    results are identical either way.
+    """
+    global _select_kernel
+    if name not in KNOWN_SELECT_KERNELS:
+        raise ValueError(
+            f"unknown select kernel {name!r}; "
+            f"known: {', '.join(KNOWN_SELECT_KERNELS)}"
+        )
+    previous = _select_kernel
+    _select_kernel = name
+    return previous
+
+
+def active_select_kernel() -> str:
+    """The currently selected candidate-selection kernel name."""
+    return _select_kernel
+
+
+def _init_select_kernel_from_env() -> None:
+    """Adopt ``SILKMOTH_SELECT_KERNEL`` at import (unset keeps packed)."""
+    name = os.environ.get(SELECT_KERNEL_ENV_VAR)
+    if name:
+        use_select_kernel(name)
 
 
 @dataclass
@@ -67,6 +134,7 @@ def select_and_check(
     skip_set: int | None = None,
     backend: ComputeBackend | None = None,
     memo: SimilarityMemo | None = None,
+    pass_stats: PassStats | None = None,
 ) -> list[CandidateInfo]:
     """Algorithm 1: probe the index with the signature and check-filter.
 
@@ -87,6 +155,10 @@ def select_and_check(
     memo:
         Cross-stage similarity memo for the edit kinds (``None``
         computes every pair).
+    pass_stats:
+        Optional per-pass stats the packed kernel reports its
+        select-funnel counters on (postings scanned, distinct pairs,
+        size-gate drops); the reference kernel leaves them untouched.
 
     Returns
     -------
@@ -94,6 +166,233 @@ def select_and_check(
     """
     if backend is None:
         backend = get_backend()
+    kernel = _select_kernel
+    with span("select.kernel", kernel=kernel, backend=backend.name) as sp:
+        if kernel == "reference":
+            candidates = _gather_reference(
+                reference,
+                signature,
+                index,
+                phi,
+                collection,
+                size_range,
+                skip_set,
+                backend,
+                memo,
+            )
+        else:
+            candidates = _gather_packed(
+                reference,
+                signature,
+                index,
+                phi,
+                collection,
+                size_range,
+                skip_set,
+                backend,
+                memo,
+                pass_stats,
+                sp,
+            )
+    bounds = signature.element_bounds
+    infos = [candidates[set_id] for set_id in sorted(candidates)]
+    if not apply_check:
+        return infos
+
+    # Prune candidates whose estimate cannot reach theta.  The estimate
+    # is sound for every scheme because each u_i individually bounds the
+    # contribution of r_i.
+    return [info for info in infos if info.estimate(bounds) >= theta]
+
+
+def _gather_packed(
+    reference: SetRecord,
+    signature: Signature,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    collection: SetCollection,
+    size_range: tuple[float, float] | None,
+    skip_set: int | None,
+    backend: ComputeBackend,
+    memo: SimilarityMemo | None,
+    pass_stats: PassStats | None,
+    sp,
+) -> dict[int, CandidateInfo]:
+    """The columnar probe: merge packed posting runs per element.
+
+    Gathers the same candidate infos as :func:`_gather_reference` --
+    same pair sets, same per-pair ``phi_alpha`` calls, same witness
+    order -- but traverses the index as flat sorted int64 runs through
+    the backend's merge kernel instead of per-posting Python
+    bookkeeping.
+    """
+    bounds = signature.element_bounds
+    token_based = phi.kind.is_token_based
+    candidates: dict[int, CandidateInfo] = {}
+    deleted = collection.deleted_ids
+    # Hoisted no-op fast path: a fully open size window (what the
+    # pipeline passes when the size filter is disabled) is no gate at
+    # all, so normalise it away here rather than comparing every
+    # candidate against +/-inf inside the merge.
+    if size_range is not None and size_range[0] == float(
+        "-inf"
+    ) and size_range[1] == float("inf"):
+        size_range = None
+    sizes = index.set_sizes()
+    memoized = memo is not None and memo.enabled
+    scanned = distinct = size_drops = 0
+    # Edit kinds: per-element probes are merged first and their scoring
+    # deferred, so one backend.edit_values batch covers the whole query
+    # (the numpy backend runs its lane-parallel Myers kernel across it).
+    deferred: list[tuple] = []
+
+    for i, tokens in enumerate(signature.per_element):
+        if not tokens:
+            continue
+        bound_i = bounds[i]
+        probe = reference.elements[i]
+        # This element's posting runs, shortest first so short lists
+        # seed the merge and prune the accumulated run early.
+        runs = [run for run in map(index.posting_keys, tokens) if len(run)]
+        if not runs:
+            continue
+        runs.sort(key=len)
+        kept, n_scanned, n_distinct, n_drops = backend.merge_distinct_postings(
+            runs, skip_set, deleted, sizes, size_range
+        )
+        scanned += n_scanned
+        distinct += n_distinct
+        size_drops += n_drops
+        if not len(kept):
+            continue
+        if token_based:
+            pairs = [(key >> PACK_SHIFT, key & PACK_MASK) for key in kept]
+            scores = backend.indexed_token_similarities(
+                probe.index_tokens, collection, pairs, phi
+            )
+            # Merged keys arrive sorted, so one candidate set's pairs
+            # are consecutive: carry the info across the run instead of
+            # a dict probe per pair.
+            last_set = -2
+            info: CandidateInfo | None = None
+            for (set_id, _), score in zip(pairs, scores):
+                if set_id != last_set:
+                    info = candidates.get(set_id)
+                    if info is None:
+                        info = candidates[set_id] = CandidateInfo(set_id)
+                    last_set = set_id
+                if score > bound_i and score > info.best.get(i, 0.0):
+                    info.best[i] = score
+        else:
+            # Each distinct candidate text is scored once per reference
+            # element -- duplicated texts share the value (the
+            # similarity is a pure function of the two strings).
+            texts: list[str] = []
+            misses: list[str] = []
+            by_text: dict[str, bool] = {}
+            for key in kept:
+                other = collection[key >> PACK_SHIFT].elements[
+                    key & PACK_MASK
+                ].text
+                texts.append(other)
+                if other not in by_text:
+                    by_text[other] = True
+                    misses.append(other)
+            deferred.append((i, bound_i, probe.text, kept, texts, misses))
+
+    if deferred:
+        # One floored-phi task per (reference element, distinct text);
+        # *bound_i* lets the banded scalar path bail out early and caps
+        # the vector path's certified-rejection band.
+        tasks = [
+            (text, other, bound_i)
+            for _, bound_i, text, _, _, misses in deferred
+            for other in misses
+        ]
+        values = backend.edit_values(phi, tasks, memo if memoized else None)
+        pos = 0
+        for i, bound_i, _, kept, texts, misses in deferred:
+            end = pos + len(misses)
+            score_of = dict(zip(misses, values[pos:end]))
+            pos = end
+            last_set = -2
+            info = None
+            for key, other in zip(kept, texts):
+                set_id = key >> PACK_SHIFT
+                if set_id != last_set:
+                    info = candidates.get(set_id)
+                    if info is None:
+                        info = candidates[set_id] = CandidateInfo(set_id)
+                    last_set = set_id
+                score = score_of[other]
+                if score > bound_i and score > info.best.get(i, 0.0):
+                    info.best[i] = score
+
+    # Empty-after-tokenisation reference elements score similarity 1
+    # against any empty candidate element, yet neither side carries a
+    # token the probe above could meet.  Enumerate those candidates from
+    # the index's empty-element postings -- once per distinct set id,
+    # since the witness value is per-set -- so every downstream bound
+    # stays sound.
+    empty_ref = [
+        i
+        for i, element in enumerate(reference.elements)
+        if not element.index_tokens
+    ]
+    if empty_ref:
+        empty_keys = index.empty_posting_keys()
+        if len(empty_keys):
+            witness = phi.threshold(1.0)
+            kept, n_scanned, n_distinct, n_drops = (
+                backend.merge_distinct_postings(
+                    [empty_keys], skip_set, deleted, sizes, size_range
+                )
+            )
+            scanned += n_scanned
+            distinct += n_distinct
+            size_drops += n_drops
+            last_set = -2
+            for key in kept:
+                set_id = key >> PACK_SHIFT
+                if set_id == last_set:
+                    continue
+                last_set = set_id
+                info = candidates.get(set_id)
+                if info is None:
+                    info = candidates[set_id] = CandidateInfo(set_id)
+                for i in empty_ref:
+                    if witness > bounds[i] and witness > info.best.get(i, 0.0):
+                        info.best[i] = witness
+
+    if pass_stats is not None:
+        pass_stats.select_postings_scanned += scanned
+        pass_stats.select_distinct_pairs += distinct
+        pass_stats.select_size_gate_drops += size_drops
+    if sp:
+        sp.set_attr("postings_scanned", scanned)
+        sp.set_attr("distinct_pairs", distinct)
+        sp.set_attr("size_gate_drops", size_drops)
+    return candidates
+
+
+def _gather_reference(
+    reference: SetRecord,
+    signature: Signature,
+    index: InvertedIndex,
+    phi: SimilarityFunction,
+    collection: SetCollection,
+    size_range: tuple[float, float] | None,
+    skip_set: int | None,
+    backend: ComputeBackend,
+    memo: SimilarityMemo | None,
+) -> dict[int, CandidateInfo]:
+    """The original per-posting probe, kept verbatim as the oracle.
+
+    Walks :class:`~repro.index.inverted.Posting` tuples with per-pair
+    set/dict bookkeeping exactly as the pre-columnar implementation
+    did; ``tests/test_select_kernel.py`` pins the packed kernel to its
+    output bit-for-bit.
+    """
     bounds = signature.element_bounds
     token_based = phi.kind.is_token_based
     candidates: dict[int, CandidateInfo] = {}
@@ -190,11 +489,7 @@ def select_and_check(
                 if witness > bounds[i] and witness > info.best.get(i, 0.0):
                     info.best[i] = witness
 
-    infos = [candidates[set_id] for set_id in sorted(candidates)]
-    if not apply_check:
-        return infos
+    return candidates
 
-    # Prune candidates whose estimate cannot reach theta.  The estimate
-    # is sound for every scheme because each u_i individually bounds the
-    # contribution of r_i.
-    return [info for info in infos if info.estimate(bounds) >= theta]
+
+_init_select_kernel_from_env()

@@ -1,10 +1,23 @@
-"""The inverted index ``I``.
+"""The inverted index ``I``, stored as packed posting arrays.
 
 For each token id ``t``, ``I[t]`` is the list of (set_id, element_index)
 postings whose element contains ``t`` (by *index* tokens).  Postings are
-stored sorted by set_id so candidate selection can deduplicate cheaply
-and the nearest-neighbour filter can binary-search the slice belonging
-to one candidate set (paper Section 5.2, footnote 7).
+kept sorted by (set_id, element_index) so candidate selection can
+deduplicate with a sorted merge and the nearest-neighbour filter can
+binary-search the slice belonging to one candidate set (paper Section
+5.2, footnote 7).
+
+Storage layout: each posting list is one ``array('q')`` of packed int64
+keys, ``(set_id << 32) | element_index`` (:data:`PACK_SHIFT`).  Packing
+keeps the lists columnar -- no per-posting tuple objects -- so the
+candidate-selection kernel (:mod:`repro.backends.select`) can merge,
+deduplicate and mask postings as flat integer runs, and the numpy
+backend can view a list as an ``int64`` ndarray without copying
+(``numpy.frombuffer``).  Sorting packed keys orders postings exactly
+like sorting ``(set_id, element_index)`` tuples, so every binary-search
+invariant of the tuple era carries over unchanged.  :meth:`postings`
+still materialises :class:`Posting` tuples for callers that want the
+row view; the hot paths never do.
 
 Mutability: removals are *lazy*.  Tombstoning a set leaves its postings
 in place (candidate selection skips them via the collection's tombstone
@@ -16,10 +29,26 @@ mutation cheap.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from array import array
+from bisect import bisect_left
 from typing import Iterable, NamedTuple
 
 from repro.core.records import SetCollection, SetRecord
+
+#: Bits the set id is shifted left by inside one packed posting key.
+PACK_SHIFT = 32
+
+#: Mask extracting the element index from a packed posting key.
+PACK_MASK = (1 << PACK_SHIFT) - 1
+
+#: Largest set id a packed key can carry (int64 stays positive, so
+#: comparisons and sorts on packed keys match tuple order).
+MAX_SET_ID = (1 << (63 - PACK_SHIFT)) - 1
+
+
+def pack_posting(set_id: int, element_index: int) -> int:
+    """One posting as a packed int64 key: ``(set_id << 32) | element``."""
+    return (set_id << PACK_SHIFT) | element_index
 
 
 class Posting(NamedTuple):
@@ -41,16 +70,20 @@ def record_posting_count(record: SetRecord) -> int:
 
 
 class InvertedIndex:
-    """Token id -> sorted postings, over a :class:`SetCollection`."""
+    """Token id -> sorted packed postings, over a :class:`SetCollection`."""
 
     def __init__(self, collection: SetCollection):
         self.collection = collection
-        self._lists: dict[int, list[Posting]] = {}
+        self._lists: dict[int, array] = {}
         # Elements with no index tokens at all (empty after
         # tokenisation).  They are invisible to every token probe yet
         # score similarity 1 against an empty query element, so
         # candidate selection must be able to enumerate them.
-        self._empty: list[Posting] = []
+        self._empty: array = array("q")
+        # Element count per indexed set id (positionally addressed):
+        # the size-gate input the selection kernel reads as a flat
+        # column instead of dereferencing collection records per set.
+        self._sizes: array = array("q")
         self._max_set_id = -1
         self._live_postings = 0
         self._dead_postings = 0
@@ -73,26 +106,38 @@ class InvertedIndex:
         out of order, the touched lists are re-sorted so the
         binary-search invariant can't silently break.
         """
+        set_id = record.set_id
+        if not 0 <= set_id <= MAX_SET_ID:
+            raise ValueError(
+                f"set_id {set_id} outside the packable range 0..{MAX_SET_ID}"
+            )
         lists = self._lists
-        in_order = record.set_id > self._max_set_id
+        in_order = set_id > self._max_set_id
+        base = set_id << PACK_SHIFT
         touched: set[int] = set()
         for element_index, element in enumerate(record.elements):
             if not element.index_tokens:
-                self._empty.append(Posting(record.set_id, element_index))
+                self._empty.append(base | element_index)
                 self._live_postings += 1
                 continue
+            key = base | element_index
             for token in element.index_tokens:
-                lists.setdefault(token, []).append(
-                    Posting(record.set_id, element_index)
-                )
+                postings = lists.get(token)
+                if postings is None:
+                    postings = lists[token] = array("q")
+                postings.append(key)
                 self._live_postings += 1
                 if not in_order:
                     touched.add(token)
         for token in touched:
-            lists[token].sort()
+            lists[token] = array("q", sorted(lists[token]))
         if not in_order:
-            self._empty.sort()
-        self._max_set_id = max(self._max_set_id, record.set_id)
+            self._empty = array("q", sorted(self._empty))
+        sizes = self._sizes
+        if set_id >= len(sizes):
+            sizes.extend([0] * (set_id + 1 - len(sizes)))
+        sizes[set_id] = len(record.elements)
+        self._max_set_id = max(self._max_set_id, set_id)
 
     def note_removed(self, record: SetRecord) -> None:
         """Account for a tombstoned record's now-dead postings.
@@ -119,7 +164,7 @@ class InvertedIndex:
         """Physically drop postings of tombstoned sets.
 
         Returns the number of postings removed.  Posting-list order is
-        preserved (filtering a sorted list keeps it sorted), so every
+        preserved (filtering a sorted array keeps it sorted), so every
         index invariant survives.
         """
         deleted = self.collection.deleted_ids
@@ -128,7 +173,9 @@ class InvertedIndex:
         removed = 0
         empty_tokens = []
         for token, postings in self._lists.items():
-            kept = [p for p in postings if p.set_id not in deleted]
+            kept = array(
+                "q", (k for k in postings if (k >> PACK_SHIFT) not in deleted)
+            )
             if len(kept) != len(postings):
                 removed += len(postings) - len(kept)
                 if kept:
@@ -138,7 +185,10 @@ class InvertedIndex:
         for token in empty_tokens:
             del self._lists[token]
         if self._empty:
-            kept_empty = [p for p in self._empty if p.set_id not in deleted]
+            kept_empty = array(
+                "q",
+                (k for k in self._empty if (k >> PACK_SHIFT) not in deleted),
+            )
             removed += len(self._empty) - len(kept_empty)
             self._empty = kept_empty
         self._dead_postings = 0
@@ -153,13 +203,29 @@ class InvertedIndex:
         return token in self._lists
 
     def postings(self, token: int) -> list[Posting]:
-        """All postings for *token* (empty list if the token is unindexed).
+        """All postings for *token* as tuples (empty if unindexed).
 
-        May include postings of tombstoned sets until :meth:`compact`
-        runs; callers that care filter against the collection's
-        ``deleted_ids``.
+        Row-oriented compatibility view over :meth:`posting_keys`; the
+        selection kernel never calls it.  May include postings of
+        tombstoned sets until :meth:`compact` runs; callers that care
+        filter against the collection's ``deleted_ids``.
         """
-        return self._lists.get(token, [])
+        keys = self._lists.get(token)
+        if not keys:
+            return []
+        return [Posting(k >> PACK_SHIFT, k & PACK_MASK) for k in keys]
+
+    def posting_keys(self, token: int) -> array:
+        """Packed sorted posting keys for *token* (shared, do not mutate).
+
+        The columnar view the candidate-selection kernel probes: one
+        ``array('q')`` of ``(set_id << 32) | element_index`` keys in
+        ascending order, with no per-posting objects.  Tombstoned sets
+        stay present until :meth:`compact`, exactly as in
+        :meth:`postings`.
+        """
+        keys = self._lists.get(token)
+        return keys if keys is not None else _EMPTY_KEYS
 
     def list_length(self, token: int) -> int:
         """``|I[t]|`` -- the cost of a token in signature selection."""
@@ -169,22 +235,37 @@ class InvertedIndex:
     def elements_in_set(self, token: int, set_id: int) -> Iterable[int]:
         """Element indices of *set_id* whose element contains *token*.
 
-        Binary-searches the sorted posting list, per Section 5.2.
+        Binary-searches the packed posting array, per Section 5.2 --
+        one ``bisect`` per bound over flat int64 keys.
         """
-        postings = self._lists.get(token)
-        if not postings:
+        keys = self._lists.get(token)
+        if not keys:
             return ()
-        lo = bisect_left(postings, (set_id,))
-        hi = bisect_right(postings, (set_id, len(self.collection[set_id].elements)))
-        return tuple(postings[i].element_index for i in range(lo, hi))
+        lo = bisect_left(keys, set_id << PACK_SHIFT)
+        hi = bisect_left(keys, (set_id + 1) << PACK_SHIFT, lo)
+        return tuple(keys[i] & PACK_MASK for i in range(lo, hi))
 
     def empty_postings(self) -> list[Posting]:
-        """Postings of elements that tokenised to nothing.
+        """Postings of elements that tokenised to nothing, as tuples.
 
         Like :meth:`postings`, may include tombstoned sets until
         :meth:`compact` runs.
         """
+        return [Posting(k >> PACK_SHIFT, k & PACK_MASK) for k in self._empty]
+
+    def empty_posting_keys(self) -> array:
+        """Packed keys of the empty-element postings (shared view)."""
         return self._empty
+
+    def set_sizes(self) -> array:
+        """Element count per set id (flat column, positionally indexed).
+
+        The size-gate input of the selection kernel: ``set_sizes()[s]``
+        equals ``len(collection[s])`` for every indexed set.  Sizes are
+        recorded at :meth:`add_record` time and stay valid because
+        records are immutable; replacing a set allocates a fresh id.
+        """
+        return self._sizes
 
     def tokens(self) -> Iterable[int]:
         """The indexed token ids (one per posting list), unordered."""
@@ -193,3 +274,7 @@ class InvertedIndex:
     def total_postings(self) -> int:
         """Total number of postings stored (index size diagnostic)."""
         return sum(len(postings) for postings in self._lists.values())
+
+
+#: Shared immutable empty posting array handed out for unindexed tokens.
+_EMPTY_KEYS = array("q")

@@ -74,7 +74,19 @@ def derive_measured_costs(stats) -> Optional[MeasuredCosts]:
     }
     if len(seconds) < 2:
         return None
-    return MeasuredCosts(backend_seconds=seconds, source=AUTOCAL_SOURCE)
+    stage_seconds = {
+        name: {
+            stage: total / entry["passes"]
+            for stage, total in entry.get("stage_seconds", {}).items()
+        }
+        for name, entry in stats.backend_seconds.items()
+        if entry.get("passes") and entry.get("stage_seconds")
+    }
+    return MeasuredCosts(
+        backend_seconds=seconds,
+        source=AUTOCAL_SOURCE,
+        stage_seconds=stage_seconds,
+    )
 
 
 class AutoCalibrator:

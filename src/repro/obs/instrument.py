@@ -83,6 +83,22 @@ class _Handles:
             "counter",
             ("result",),
         )
+        self.select_postings_scanned = registry.register(
+            "silkmoth_select_postings_scanned_total",
+            "Raw posting keys scanned by the packed selection kernel.",
+            "counter",
+        )
+        self.select_distinct_pairs = registry.register(
+            "silkmoth_select_distinct_pairs_total",
+            "Distinct (set, element) pairs left after the selection "
+            "merge dedup (scanned / distinct is the dedup ratio).",
+            "counter",
+        )
+        self.select_size_gate_drops = registry.register(
+            "silkmoth_select_size_gate_drops_total",
+            "Distinct selection pairs dropped by the size gate alone.",
+            "counter",
+        )
         self.shards_routed = registry.register(
             "silkmoth_shards_routed_total",
             "Shards actually queried across cluster passes.",
@@ -151,6 +167,9 @@ def observe_pass(stats) -> None:
         h.sim_cache.inc(stats.sim_cache_hits, result="hit")
     if stats.sim_cache_misses:
         h.sim_cache.inc(stats.sim_cache_misses, result="miss")
+    h.select_postings_scanned.inc(stats.select_postings_scanned)
+    h.select_distinct_pairs.inc(stats.select_distinct_pairs)
+    h.select_size_gate_drops.inc(stats.select_size_gate_drops)
 
 
 def observe_query(latency: float, cache_hit: bool) -> None:

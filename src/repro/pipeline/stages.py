@@ -128,6 +128,7 @@ class CandidateSelectStage(Stage):
             skip_set=plan.skip_set,
             backend=plan.backend,
             memo=plan.memo,
+            pass_stats=stats,
         )
         state.batch = CandidateBatch.from_infos(
             infos, plan.collection, state.signature.element_bounds

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.backends import available_backends
@@ -175,10 +175,32 @@ class MeasuredCosts:
         calibration workloads (see :mod:`repro.bench.trajectory`).
     source:
         Path of the profile file, echoed into plan reasons.
+    stage_seconds:
+        Optional backend name -> ``{stage: seconds}`` breakdown of the
+        same measurement (the trajectory harness and the service's
+        live calibration both record it), letting the planner see
+        *where* a backend spends -- e.g. the candidate-selection share
+        the packed select kernel targets.  Empty when the profile
+        predates per-stage accounting.
     """
 
     backend_seconds: dict
     source: str
+    stage_seconds: dict = field(default_factory=dict)
+
+    def stage_share(self, backend: str, stage: str) -> "float | None":
+        """Fraction of *backend*'s measured time spent in *stage*.
+
+        ``None`` when the profile carries no per-stage breakdown for
+        that backend (or the breakdown sums to zero).
+        """
+        stages = self.stage_seconds.get(backend)
+        if not stages:
+            return None
+        total = sum(stages.values())
+        if total <= 0.0:
+            return None
+        return stages.get(stage, 0.0) / total
 
     def fastest_backend(self, candidates: tuple) -> "str | None":
         """The measured-fastest backend among *candidates*.
@@ -229,15 +251,31 @@ def load_measured_costs(path: "str | None" = None) -> "MeasuredCosts | None":
     payload = json.loads(Path(path).read_text())
     backends = payload.get("calibration", {}).get("backends", {})
     seconds = {}
+    stage_seconds = {}
     for name, entry in backends.items():
-        value = entry.get("seconds") if isinstance(entry, dict) else None
+        if not isinstance(entry, dict):
+            continue
+        value = entry.get("seconds")
         if isinstance(value, (int, float)) and value >= 0:
             seconds[name] = float(value)
+        stages = entry.get("stage_seconds")
+        if isinstance(stages, dict):
+            parsed = {
+                str(stage): float(sec)
+                for stage, sec in stages.items()
+                if isinstance(sec, (int, float))
+                and not isinstance(sec, bool)
+                and sec >= 0
+            }
+            if parsed:
+                stage_seconds[name] = parsed
     if not seconds:
         raise ValueError(
             f"cost profile {path!r} has no calibration.backends timings"
         )
-    costs = MeasuredCosts(backend_seconds=seconds, source=path)
+    costs = MeasuredCosts(
+        backend_seconds=seconds, source=path, stage_seconds=stage_seconds
+    )
     _measured_cache.clear()
     _measured_cache[key] = costs
     return costs
@@ -299,10 +337,16 @@ def choose_backend(
                 for name in backends
                 if name in measured.backend_seconds
             )
+            select_share = measured.stage_share(fastest, "select")
+            share_note = (
+                f"; select is {select_share:.0%} of its pipeline"
+                if select_share is not None
+                else ""
+            )
             return (
                 fastest,
                 f"measured fastest on this machine ({timings}; "
-                f"{measured.source})",
+                f"{measured.source}){share_note}",
             )
     if "numpy" not in backends:
         return "python", "numpy not installed"

@@ -148,6 +148,11 @@ class ServiceStats:
             )
             entry["seconds"] += pass_seconds
             entry["passes"] += 1
+            # Per-backend stage breakdown: lets calibration see where a
+            # backend spends (e.g. the select share), not just totals.
+            stages = entry.setdefault("stage_seconds", {})
+            for name, seconds in pass_stats.stage_seconds.items():
+                stages[name] = stages.get(name, 0.0) + seconds
 
     def export_cost_profile(
         self, path: "str | os.PathLike", extra: "dict | None" = None
@@ -187,6 +192,12 @@ class ServiceStats:
                 "seconds": round(entry["seconds"] / entry["passes"], 6),
                 "seconds_total": round(entry["seconds"], 6),
                 "passes": entry["passes"],
+                "stage_seconds": {
+                    stage: round(seconds / entry["passes"], 6)
+                    for stage, seconds in sorted(
+                        entry.get("stage_seconds", {}).items()
+                    )
+                },
             }
         payload = {
             "schema": COST_PROFILE_SCHEMA,
@@ -261,8 +272,17 @@ class ServiceStats:
                     and not isinstance(passes, bool)
                     and passes > 0
                 ):
-                    stats.backend_seconds[str(name)] = {
+                    restored = {
                         "seconds": float(seconds),
                         "passes": passes,
                     }
+                    stages = entry.get("stage_seconds")
+                    if isinstance(stages, dict):
+                        restored["stage_seconds"] = {
+                            str(stage): float(sec)
+                            for stage, sec in stages.items()
+                            if isinstance(sec, (int, float))
+                            and not isinstance(sec, bool)
+                        }
+                    stats.backend_seconds[str(name)] = restored
         return stats

@@ -205,6 +205,39 @@ class SimilarityFunction:
     # ------------------------------------------------------------------
     # Bounded edit similarity (hot-path helper)
     # ------------------------------------------------------------------
+    def edit_band(self, len_x: int, len_y: int, cutoff: float) -> int:
+        """Largest edit distance whose similarity can still reach *cutoff*.
+
+        The inverse of the kind's similarity formula, shared by the
+        scalar banded path (:meth:`edit_at_least`) and the backends'
+        batched edit kernels so both certify rejections with the exact
+        same limit.
+        """
+        # The EPSILON guard keeps float noise from truncating a
+        # mathematically-integer limit one too low (which would reject
+        # boundary strings and break filter soundness).
+        if self.kind is SimilarityKind.EDS:
+            # eds >= cutoff  <=>  LD <= (1 - cutoff) * (|x| + |y|) / (1 + cutoff)
+            return int((1.0 - cutoff) * (len_x + len_y) / (1.0 + cutoff) + EPSILON)
+        if self.kind is SimilarityKind.NEDS:
+            return int((1.0 - cutoff) * max(len_x, len_y) + EPSILON)
+        raise ValueError("edit_band requires an edit-based kind")
+
+    def edit_score_from_distance(
+        self, len_x: int, len_y: int, distance: int, floor: float
+    ) -> float:
+        """The floored ``phi_alpha`` given an exact edit *distance*.
+
+        The closing arithmetic of :meth:`edit_at_least`, factored out so
+        backends that obtain the distance through a batched kernel apply
+        the identical formula (and thus return bit-identical floats).
+        """
+        if self.kind is SimilarityKind.EDS:
+            score = 1.0 - 2.0 * distance / (len_x + len_y + distance)
+        else:
+            score = 1.0 - distance / max(len_x, len_y)
+        return self.threshold(score) if score >= floor else 0.0
+
     def edit_at_least(self, x: str, y: str, floor: float) -> float:
         """``phi_alpha(x, y)`` for edit kinds, or 0.0 if it is below *floor*.
 
@@ -217,21 +250,8 @@ class SimilarityFunction:
         if x == y:
             return 1.0
         len_x, len_y = len(x), len(y)
-        # The EPSILON guard keeps float noise from truncating a
-        # mathematically-integer limit one too low (which would reject
-        # boundary strings and break filter soundness).
-        if self.kind is SimilarityKind.EDS:
-            # eds >= cutoff  <=>  LD <= (1 - cutoff) * (|x| + |y|) / (1 + cutoff)
-            max_ld = int((1.0 - cutoff) * (len_x + len_y) / (1.0 + cutoff) + EPSILON)
-        elif self.kind is SimilarityKind.NEDS:
-            max_ld = int((1.0 - cutoff) * max(len_x, len_y) + EPSILON)
-        else:
-            raise ValueError("edit_at_least requires an edit-based kind")
+        max_ld = self.edit_band(len_x, len_y, cutoff)
         distance = levenshtein_within(x, y, max_ld)
         if distance > max_ld:
             return 0.0
-        if self.kind is SimilarityKind.EDS:
-            score = 1.0 - 2.0 * distance / (len_x + len_y + distance)
-        else:
-            score = 1.0 - distance / max(len_x, len_y)
-        return self.threshold(score) if score >= floor else 0.0
+        return self.edit_score_from_distance(len_x, len_y, distance, floor)

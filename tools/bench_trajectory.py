@@ -25,7 +25,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.trajectory import format_trajectory, write_trajectory  # noqa: E402
+from repro.bench.trajectory import (  # noqa: E402
+    KNOWN_WORKLOADS,
+    format_trajectory,
+    write_trajectory,
+)
 
 
 def main(argv=None) -> int:
@@ -55,11 +59,23 @@ def main(argv=None) -> int:
             "note the planner's calibration needs at least two)"
         ),
     )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        choices=KNOWN_WORKLOADS,
+        help=(
+            "run only this pinned workload (repeatable; default: all; "
+            "CI's bench smoke times the select-dominated edit_verify "
+            "alone)"
+        ),
+    )
     args = parser.parse_args(argv)
     payload = write_trajectory(
         args.output,
         scale=args.scale,
         backends=tuple(args.backend) if args.backend else (),
+        workloads=tuple(args.workload) if args.workload else (),
     )
     if payload.get("cpus", 0) == 1:
         print(
