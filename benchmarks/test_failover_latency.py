@@ -1,0 +1,153 @@
+"""Replication overhead and failover latency: R=2 vs R=1.
+
+Replication's pitch is crash-invisibility at a bounded cost: reads go
+to one replica so query latency should be flat, while mutations fan
+out to every replica so build time pays roughly R×.  This bench pins
+both halves of that claim, then measures the one-off price of a
+failover — a seeded :class:`~repro.cluster.FaultPlan` kills the
+primary replica of shard 0 on the first post-build search, and the
+series compares that query against its steady-state neighbours.  All
+runs assert bit-identity against the unreplicated cluster: failover
+may cost time, never answers.
+"""
+
+import random
+import time
+
+from repro.bench.reporting import print_series
+from repro.cluster import FaultEvent, FaultPlan, SilkMothCluster
+from repro.workloads.applications import schema_matching
+
+
+def _workload(bench_sizes):
+    n = max(80, bench_sizes["schema_matching"] // 4)
+    return schema_matching(n_sets=n)
+
+
+def _references(workload, n_references, rng):
+    candidates = [list(elements) for elements in workload.sets]
+    return [candidates[rng.randrange(len(candidates))] for _ in range(n_references)]
+
+
+def _build(workload, replicas, fault_plan=None):
+    started = time.perf_counter()
+    cluster = SilkMothCluster.from_sets(
+        workload.sets,
+        workload.config,
+        shards=2,
+        transport="inline",
+        replicas=replicas,
+        backoff=0.0,
+        fault_plan=fault_plan,
+    )
+    return cluster, time.perf_counter() - started
+
+
+def _serve(cluster, references):
+    started = time.perf_counter()
+    batches = [cluster.search(reference) for reference in references]
+    return batches, time.perf_counter() - started
+
+
+def _keyed(batches):
+    return [[(r.set_id, round(r.score, 9)) for r in row] for row in batches]
+
+
+def test_replication_overhead(bench_sizes):
+    rng = random.Random(47)
+    workload = _workload(bench_sizes)
+    references = _references(workload, bench_sizes["n_references"], rng)
+
+    single, single_build = _build(workload, replicas=1)
+    double, double_build = _build(workload, replicas=2)
+    try:
+        single_batches, single_serve = _serve(single, references)
+        double_batches, double_serve = _serve(double, references)
+
+        print_series(
+            "Replication overhead: R=1 vs R=2 (inline, 2 shards)",
+            "replicas",
+            [1, 2],
+            {
+                "build": [single_build, double_build],
+                "serve": [single_serve, double_serve],
+            },
+            extra={
+                "queries": [len(references)] * 2,
+                "replicas alive": [
+                    sum(sum(h) for h in single.replica_health()),
+                    sum(sum(h) for h in double.replica_health()),
+                ],
+            },
+        )
+        # Replication must never change answers -- only durability.
+        assert _keyed(single_batches) == _keyed(double_batches)
+    finally:
+        single.close()
+        double.close()
+
+
+def test_failover_latency(bench_sizes):
+    rng = random.Random(48)
+    workload = _workload(bench_sizes)
+    references = _references(workload, bench_sizes["n_references"], rng)
+
+    oracle, _ = _build(workload, replicas=1)
+    # Kill shard 0's primary on the first search it sees: that query
+    # pays the detection + retry cost, every later one runs on the
+    # surviving replica at full speed.
+    plan = FaultPlan(
+        events=[FaultEvent(kind="kill_shard", shard=0, replica=0, command="search")]
+    )
+    cluster, _ = _build(workload, replicas=2, fault_plan=plan)
+    try:
+        baseline, warm_elapsed = _serve(oracle, references)
+
+        failover_started = time.perf_counter()
+        first = cluster.search(references[0])
+        failover_elapsed = time.perf_counter() - failover_started
+
+        after, after_elapsed = _serve(cluster, references[1:])
+
+        per_query_after = after_elapsed / max(1, len(references) - 1)
+        print_series(
+            "Failover latency: the killed-primary query vs steady state",
+            "pass",
+            ["R=1 baseline", "failover query", "after failover"],
+            {
+                "latency": [
+                    warm_elapsed / max(1, len(references)),
+                    failover_elapsed,
+                    per_query_after,
+                ],
+            },
+            extra={
+                "failovers": [0, cluster.stats.failovers, cluster.stats.failovers],
+                "replicas lost": [0, cluster.stats.replicas_lost, cluster.stats.replicas_lost],
+            },
+        )
+        assert cluster.stats.failovers >= 1
+        assert cluster.stats.replicas_lost == 1
+        assert cluster.lost_shards() == []
+        # Failover costs time, never answers.
+        assert _keyed([first] + after) == _keyed(baseline)
+    finally:
+        oracle.close()
+        cluster.close()
+
+
+def test_failover_benchmark(bench_sizes, benchmark):
+    rng = random.Random(49)
+    workload = _workload(bench_sizes)
+    references = _references(workload, bench_sizes["n_references"], rng)
+    cluster, _ = _build(workload, replicas=2)
+    try:
+        cluster.search(references[0])  # prime summaries/planner once
+        result = benchmark.pedantic(
+            lambda: [cluster.search(reference) for reference in references],
+            rounds=3,
+            iterations=1,
+        )
+        assert isinstance(result, list)
+    finally:
+        cluster.close()

@@ -521,7 +521,12 @@ def cmd_cluster_query(args: argparse.Namespace) -> int:
         print("no reference sets found", file=sys.stderr)
         return 1
     with SilkMothCluster.load(
-        args.manifest, config, transport=args.transport
+        args.manifest,
+        config,
+        transport=args.transport,
+        replicas=args.replicas,
+        deadline=args.deadline,
+        backoff=args.backoff,
     ) as cluster:
         started = time.perf_counter()
         for _ in range(args.repeat):
@@ -872,6 +877,34 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "shard transport (default: SILKMOTH_CLUSTER_TRANSPORT, "
             "then inline)"
+        ),
+    )
+    cluster_query.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help=(
+            "transport endpoints per shard; reads fail over between "
+            "them (default: SILKMOTH_REPLICAS, then 1)"
+        ),
+    )
+    cluster_query.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "per-request shard deadline in seconds; a missed deadline "
+            "fails the replica over (default: SILKMOTH_SHARD_DEADLINE, "
+            "then disabled)"
+        ),
+    )
+    cluster_query.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        help=(
+            "base pause in seconds before each failover retry "
+            "(default: SILKMOTH_FAILOVER_BACKOFF, then 0.05)"
         ),
     )
     cluster_query.add_argument(

@@ -17,16 +17,34 @@ Layout:
   transports speaking one submit/collect protocol;
 * :mod:`repro.cluster.coordinator` -- the cluster itself: global id
   space, placement, routing, fan-out/merge, mutations, rebalancing
-  compaction, snapshots;
-* :mod:`repro.cluster.stats` -- merged pass stats plus routing and
-  rebalancing counters.
+  compaction, snapshots, shard replication and failover;
+* :mod:`repro.cluster.faults` -- deterministic fault injection (seeded
+  fault plans + a fault-injecting transport wrapper) for the chaos
+  suites;
+* :mod:`repro.cluster.stats` -- merged pass stats plus routing,
+  rebalancing and failover counters.
 """
 
 from repro.cluster.coordinator import (
+    BACKOFF_ENV_VAR,
+    DEADLINE_ENV_VAR,
+    DEFAULT_BACKOFF,
+    DEFAULT_REPLICAS,
     DEFAULT_SHARDS,
+    REPLICAS_ENV_VAR,
     SHARDS_ENV_VAR,
+    ClusterDegradedError,
     SilkMothCluster,
+    resolve_backoff,
+    resolve_deadline,
+    resolve_replica_count,
     resolve_shard_count,
+)
+from repro.cluster.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultyTransport,
 )
 from repro.cluster.routing import (
     SUMMARY_BITS_ENV_VAR,
@@ -40,23 +58,38 @@ from repro.cluster.stats import ClusterPassStats, ClusterStats
 from repro.cluster.transport import (
     KNOWN_TRANSPORTS,
     TRANSPORT_ENV_VAR,
+    ShardTimeoutError,
     ShardTransportError,
     resolve_transport_name,
 )
 
 __all__ = [
+    "BACKOFF_ENV_VAR",
+    "DEADLINE_ENV_VAR",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_REPLICAS",
     "DEFAULT_SHARDS",
+    "FAULT_KINDS",
     "KNOWN_TRANSPORTS",
+    "REPLICAS_ENV_VAR",
     "SHARDS_ENV_VAR",
     "SUMMARY_BITS_ENV_VAR",
     "TRANSPORT_ENV_VAR",
+    "ClusterDegradedError",
     "ClusterPassStats",
     "ClusterStats",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyTransport",
     "ReferenceProbe",
     "ShardSummary",
+    "ShardTimeoutError",
     "ShardTransportError",
     "SilkMothCluster",
     "reference_probe",
+    "resolve_backoff",
+    "resolve_deadline",
+    "resolve_replica_count",
     "resolve_shard_count",
     "resolve_transport_name",
     "routing_certificate_holds",

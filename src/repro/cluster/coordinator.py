@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
@@ -48,8 +49,10 @@ from repro.cluster.routing import (
     resolve_summary_bits,
     routing_certificate_holds,
 )
+from repro.cluster.faults import FaultPlan, FaultyTransport
 from repro.cluster.stats import ClusterPassStats, ClusterStats
 from repro.cluster.transport import (
+    ShardTransport,
     ShardTransportError,
     make_transport,
     resolve_transport_name,
@@ -64,7 +67,12 @@ from repro.io.persistence import (
     save_shard_snapshot,
 )
 from repro.obs.autocal import AutoCalibrator
-from repro.obs.instrument import observe_transport_error
+from repro.obs.instrument import (
+    observe_degraded,
+    observe_failover,
+    observe_replica_death,
+    observe_transport_error,
+)
 from repro.obs.trace import current_context, ingest, span
 from repro.pipeline.driver import keep_discovery_pair
 from repro.planner.cost import IndexProfile, merge_profiles
@@ -83,6 +91,50 @@ SHARDS_ENV_VAR = "SILKMOTH_SHARDS"
 #: Shard count when neither the constructor nor the env var names one.
 DEFAULT_SHARDS = 4
 
+#: Environment variable supplying the default replicas per shard.
+REPLICAS_ENV_VAR = "SILKMOTH_REPLICAS"
+
+#: Replicas per shard when neither constructor nor env var names one.
+DEFAULT_REPLICAS = 1
+
+#: Environment variable supplying the per-request shard deadline.
+DEADLINE_ENV_VAR = "SILKMOTH_SHARD_DEADLINE"
+
+#: Environment variable supplying the failover backoff base.
+BACKOFF_ENV_VAR = "SILKMOTH_FAILOVER_BACKOFF"
+
+#: Failover backoff base (seconds) when nothing names one.
+DEFAULT_BACKOFF = 0.05
+
+#: Hard cap on any single failover backoff sleep (bounded by design).
+MAX_BACKOFF_SECONDS = 0.5
+
+#: Internal sentinel: a shard request that found no surviving replica
+#: (distinguishable from a legitimate ``None`` reply).
+_LOST = object()
+
+
+class ClusterDegradedError(ShardTransportError):
+    """Every replica of at least one required shard is unreachable.
+
+    Raised instead of a raw :class:`ShardTransportError` once failover
+    is exhausted, so callers learn *which* logical shards are lost (the
+    :attr:`shards` tuple) rather than which TCP round-trip happened to
+    die last.  Subclasses :class:`ShardTransportError` so existing
+    error handling keeps working.  A degraded cluster still answers
+    queries whose routing avoids the lost shards, and
+    :meth:`SilkMothCluster.revive` rebuilds lost replicas from the
+    coordinator's directory.
+    """
+
+    def __init__(self, shards):
+        self.shards = tuple(sorted(shards))
+        plural = "s" if len(self.shards) != 1 else ""
+        super().__init__(
+            f"cluster degraded: no live replica for shard{plural} "
+            f"{', '.join(str(s) for s in self.shards)}"
+        )
+
 
 def resolve_shard_count(shards: "int | None") -> int:
     """Resolve the shard-count knob: explicit value, env var, default."""
@@ -92,6 +144,40 @@ def resolve_shard_count(shards: "int | None") -> int:
     if shards < 1:
         raise ValueError(f"a cluster needs >= 1 shard, got {shards}")
     return shards
+
+
+def resolve_replica_count(replicas: "int | None") -> int:
+    """Resolve the replica knob: explicit value, env var, default (1)."""
+    if replicas is None:
+        raw = os.environ.get(REPLICAS_ENV_VAR) or None
+        replicas = int(raw) if raw is not None else DEFAULT_REPLICAS
+    if replicas < 1:
+        raise ValueError(f"a shard needs >= 1 replica, got {replicas}")
+    return replicas
+
+
+def resolve_deadline(deadline: "float | None") -> "float | None":
+    """Resolve the per-request deadline: explicit, env var, disabled.
+
+    ``None`` (or ``0``) disables the deadline entirely -- collects
+    block until the shard answers, matching pre-replication behaviour.
+    """
+    if deadline is None:
+        raw = os.environ.get(DEADLINE_ENV_VAR) or None
+        deadline = float(raw) if raw is not None else None
+    if deadline is not None and deadline <= 0:
+        return None
+    return deadline
+
+
+def resolve_backoff(backoff: "float | None") -> float:
+    """Resolve the failover backoff base: explicit, env var, default."""
+    if backoff is None:
+        raw = os.environ.get(BACKOFF_ENV_VAR) or None
+        backoff = float(raw) if raw is not None else DEFAULT_BACKOFF
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    return backoff
 
 
 class SilkMothCluster:
@@ -125,6 +211,22 @@ class SilkMothCluster:
         Optional file each sample also (atomically) writes a
         ``SILKMOTH_COST_PROFILE``-compatible profile to, with the
         per-shard index profiles merged in.
+    replicas:
+        Transport endpoints per logical shard, each holding identical
+        state; ``None`` defers to ``SILKMOTH_REPLICAS`` and then 1.
+        Reads go to one replica (with failover), mutations to all.
+    deadline:
+        Per-request shard deadline in seconds; a reply missing the
+        deadline fails the replica over.  ``None``/``0`` disables
+        (defers to ``SILKMOTH_SHARD_DEADLINE``).
+    backoff:
+        Base of the exponential pause before each failover attempt,
+        capped at :data:`MAX_BACKOFF_SECONDS`; ``None`` defers to
+        ``SILKMOTH_FAILOVER_BACKOFF`` and then
+        :data:`DEFAULT_BACKOFF`.
+    fault_plan:
+        Test-only :class:`~repro.cluster.faults.FaultPlan`; wraps every
+        replica in a fault-injecting transport.
     """
 
     def __init__(
@@ -138,6 +240,10 @@ class SilkMothCluster:
         compact_dead_fraction: float = 0.25,
         autocal_interval: "int | None" = None,
         autocal_export_path: "str | Path | None" = None,
+        replicas: "int | None" = None,
+        deadline: "float | None" = None,
+        backoff: "float | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         n_shards = resolve_shard_count(shards)
         self._init_common(
@@ -150,6 +256,10 @@ class SilkMothCluster:
             shard_states=[((), ()) for _ in range(n_shards)],
             autocal_interval=autocal_interval,
             autocal_export_path=autocal_export_path,
+            replicas=replicas,
+            deadline=deadline,
+            backoff=backoff,
+            fault_plan=fault_plan,
         )
 
     def _init_common(
@@ -163,11 +273,18 @@ class SilkMothCluster:
         shard_states: list,
         autocal_interval: "int | None" = None,
         autocal_export_path: "str | Path | None" = None,
+        replicas: "int | None" = None,
+        deadline: "float | None" = None,
+        backoff: "float | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         """Shared constructor body (``__init__``, ``from_sets``, ``load``).
 
         *shard_states* is one ``(raw_sets, deleted_local_ids)`` pair per
         shard; summaries are built here from the live sets' tokens.
+        Each logical shard gets *replicas* transport endpoints holding
+        identical state; *fault_plan* (tests only) wraps every endpoint
+        in a :class:`~repro.cluster.faults.FaultyTransport`.
         """
         self.config = config
         self._tokenizer = Tokenizer(
@@ -176,11 +293,21 @@ class SilkMothCluster:
         self._transport_name = transport_name
         self._summary_bits = summary_bits
         self._compact_dead_fraction = compact_dead_fraction
-        self._transports = [
-            make_transport(
-                transport_name, config, raw_sets, deleted, compact_dead_fraction
-            )
-            for raw_sets, deleted in shard_states
+        self._replica_count = resolve_replica_count(replicas)
+        self._deadline = resolve_deadline(deadline)
+        self._backoff = resolve_backoff(backoff)
+        self._fault_plan = fault_plan
+        #: Per shard: its replica transports (identical state each).
+        self._shards: "list[list[ShardTransport]]" = [
+            [
+                self._make_replica(k, r, raw_sets, deleted)
+                for r in range(self._replica_count)
+            ]
+            for k, (raw_sets, deleted) in enumerate(shard_states)
+        ]
+        #: Per shard, per replica: whether the endpoint is serving.
+        self._healthy: "list[list[bool]]" = [
+            [True] * self._replica_count for _ in range(n_shards)
         ]
         self._summaries: list[ShardSummary] = []
         for raw_sets, deleted in shard_states:
@@ -245,6 +372,10 @@ class SilkMothCluster:
         compact_dead_fraction = kwargs.pop("compact_dead_fraction", 0.25)
         autocal_interval = kwargs.pop("autocal_interval", None)
         autocal_export_path = kwargs.pop("autocal_export_path", None)
+        replicas = kwargs.pop("replicas", None)
+        deadline = kwargs.pop("deadline", None)
+        backoff = kwargs.pop("backoff", None)
+        fault_plan = kwargs.pop("fault_plan", None)
         if kwargs:
             # Validate BEFORE spawning: a typoed keyword must not leak
             # unreachable (hence unclosable) worker processes.
@@ -266,6 +397,10 @@ class SilkMothCluster:
             shard_states=[(shard_sets[k], ()) for k in range(n_shards)],
             autocal_interval=autocal_interval,
             autocal_export_path=autocal_export_path,
+            replicas=replicas,
+            deadline=deadline,
+            backoff=backoff,
+            fault_plan=fault_plan,
         )
         cluster._placement = placement
         cluster._raw = [tuple(elements) for elements in sets]
@@ -279,8 +414,9 @@ class SilkMothCluster:
         if self._closed:
             return
         self._closed = True
-        for transport in self._transports:
-            transport.close()
+        for replicas in self._shards:
+            for transport in replicas:
+                transport.close()
 
     def __enter__(self) -> "SilkMothCluster":
         """Context-manager entry (returns self)."""
@@ -295,8 +431,8 @@ class SilkMothCluster:
     # ------------------------------------------------------------------
     @property
     def n_shards(self) -> int:
-        """How many shards the cluster holds."""
-        return len(self._transports)
+        """How many logical shards the cluster holds."""
+        return len(self._shards)
 
     @property
     def transport_name(self) -> str:
@@ -341,6 +477,246 @@ class SilkMothCluster:
         return self._placement[set_id]
 
     # ------------------------------------------------------------------
+    # Replication and failover
+    # ------------------------------------------------------------------
+    def _make_replica(
+        self, shard: int, replica: int, raw_sets, deleted
+    ) -> ShardTransport:
+        """Spawn one transport endpoint holding *shard*'s state."""
+        inner = make_transport(
+            self._transport_name,
+            self.config,
+            raw_sets,
+            deleted,
+            self._compact_dead_fraction,
+        )
+        if self._fault_plan is not None:
+            return FaultyTransport(inner, self._fault_plan, shard, replica)
+        return inner
+
+    @property
+    def replica_count(self) -> int:
+        """Configured replicas per logical shard."""
+        return self._replica_count
+
+    def replica_health(self) -> list[list[bool]]:
+        """Per shard, per replica: whether the endpoint is serving."""
+        return [list(flags) for flags in self._healthy]
+
+    def lost_shards(self) -> list[int]:
+        """Shards with zero healthy replicas (their data is unreachable
+        until :meth:`revive`)."""
+        return [
+            k for k in range(self.n_shards) if not any(self._healthy[k])
+        ]
+
+    def _healthy_replica_indices(self, shard: int) -> list[int]:
+        """Healthy replica indices for *shard*, lowest first."""
+        return [
+            r for r, healthy in enumerate(self._healthy[shard]) if healthy
+        ]
+
+    def _primary_replica(self, shard: int) -> "int | None":
+        """The replica reads go to: lowest healthy index, or ``None``."""
+        for r, healthy in enumerate(self._healthy[shard]):
+            if healthy:
+                return r
+        return None
+
+    def _mark_replica_dead(self, shard: int, replica: int) -> None:
+        """Record one replica's death and tear its transport down.
+
+        The submit/collect protocol has no request ids, so after any
+        failure (crash, hang, lost reply) the connection is
+        desynchronised and must never be reused: the endpoint is killed
+        and excluded from routing until :meth:`revive` rebuilds it.
+        """
+        if not self._healthy[shard][replica]:
+            return
+        self._healthy[shard][replica] = False
+        self.stats.replicas_lost += 1
+        observe_replica_death()
+        try:
+            self._shards[shard][replica].kill()
+        except Exception:  # noqa: BLE001 - endpoint is already being dropped
+            pass
+
+    def _degraded(self, shards) -> ClusterDegradedError:
+        """Record one degraded-shard failure and build its error."""
+        self.stats.degraded_failures += 1
+        observe_degraded()
+        return ClusterDegradedError(shards)
+
+    def _failover_request(self, shard: int, command: str, payload: tuple):
+        """Retry *command* on *shard*'s surviving replicas, in order.
+
+        Sleeps an exponentially growing backoff (base
+        :attr:`_backoff`, capped at :data:`MAX_BACKOFF_SECONDS`) before
+        each attempt, so a flapping shard is not hammered.  Each failed
+        attempt kills that replica, so the loop is bounded by the
+        replica count.  Returns the reply, or :data:`_LOST` when no
+        replica survives.
+        """
+        attempt = 0
+        while True:
+            live = self._healthy_replica_indices(shard)
+            if not live:
+                return _LOST
+            attempt += 1
+            pause = min(
+                self._backoff * (2 ** (attempt - 1)), MAX_BACKOFF_SECONDS
+            )
+            if pause > 0:
+                time.sleep(pause)
+            replica = live[0]
+            self.stats.failovers += 1
+            observe_failover()
+            with span("cluster.failover", shard=shard, replica=replica):
+                try:
+                    transport = self._shards[shard][replica]
+                    transport.submit(command, payload)
+                    return transport.collect(self._deadline)
+                except Exception:  # noqa: BLE001 - replica is dead, try next
+                    observe_transport_error()
+                    self._mark_replica_dead(shard, replica)
+
+    def _fanout_read(
+        self,
+        command: str,
+        payloads: list,
+        selected: list,
+        allow_lost: bool = False,
+        collect_span: bool = False,
+    ) -> list:
+        """Pipelined read fan-out with per-shard failover.
+
+        Submits *command* to each selected shard's primary replica (so
+        worker shards compute concurrently), then collects in order
+        under the per-request deadline.  A failed submit or collect
+        marks that replica dead and retries synchronously on the next
+        one via :meth:`_failover_request`.  Shards with no surviving
+        replica either raise :class:`ClusterDegradedError` (default) or
+        yield ``None`` replies (*allow_lost*, for best-effort reads
+        like :meth:`shard_infos`).  *collect_span* wraps the collect
+        phase -- and only it -- in a ``cluster.collect`` span: the
+        submit phase must stay outside so an inline shard (which
+        executes at submit time) parents its spans under the caller's
+        query span, not the transport wait.
+        """
+        pending: "list[tuple[int, int | None, tuple]]" = []
+        for k, payload in zip(selected, payloads):
+            replica = self._primary_replica(k)
+            if replica is not None:
+                try:
+                    self._shards[k][replica].submit(command, payload)
+                except Exception:  # noqa: BLE001 - failover at collect time
+                    observe_transport_error()
+                    self._mark_replica_dead(k, replica)
+                    replica = None
+            pending.append((k, replica, payload))
+        replies = []
+        lost = []
+        with span("cluster.collect", shards=len(selected)) if collect_span \
+                else nullcontext():
+            for k, replica, payload in pending:
+                reply = _LOST
+                if replica is not None:
+                    try:
+                        reply = self._shards[k][replica].collect(self._deadline)
+                    except Exception:  # noqa: BLE001 - fail over below
+                        observe_transport_error()
+                        self._mark_replica_dead(k, replica)
+                if reply is _LOST:
+                    reply = self._failover_request(k, command, payload)
+                if reply is _LOST:
+                    lost.append(k)
+                    replies.append(None)
+                else:
+                    replies.append(reply)
+        if lost and not allow_lost:
+            raise self._degraded(lost)
+        return replies
+
+    def _mutate_shard(self, shard: int, command: str, payload: tuple):
+        """Apply one mutation to every healthy replica of *shard*.
+
+        Replicas stay in lockstep by receiving identical mutation
+        streams in identical order, so all successful replies are
+        interchangeable; the first one is returned.  At least one
+        success commits the mutation (failed replicas are marked dead
+        -- they are rebuilt from coordinator state by :meth:`revive`,
+        never trusted again as-is).  Zero successes raises
+        :class:`ClusterDegradedError` and the caller must leave every
+        piece of coordinator bookkeeping untouched.
+        """
+        submitted = []
+        for replica in self._healthy_replica_indices(shard):
+            try:
+                self._shards[shard][replica].submit(command, payload)
+                submitted.append(replica)
+            except Exception:  # noqa: BLE001 - replica lost before the write
+                observe_transport_error()
+                self._mark_replica_dead(shard, replica)
+        reply = _LOST
+        for replica in submitted:
+            try:
+                value = self._shards[shard][replica].collect(self._deadline)
+            except Exception:  # noqa: BLE001 - replica lost mid-write
+                observe_transport_error()
+                self._mark_replica_dead(shard, replica)
+                continue
+            if reply is _LOST:
+                reply = value
+        if reply is _LOST:
+            raise self._degraded([shard])
+        return reply
+
+    def _shard_state(self, shard: int) -> tuple[list, list]:
+        """(raw sets, deleted local ids) for *shard*, coordinator-side.
+
+        Exactly the state :meth:`save` writes for the shard, derived
+        from the directory alone -- which is why a dead replica can be
+        rebuilt without any surviving replica's help.
+        """
+        table = self._shard_to_global[shard]
+        sets = [tuple(self._raw[gid]) for gid in table]
+        deleted = [
+            local
+            for local, gid in enumerate(table)
+            if gid in self._deleted or self._placement[gid] != (shard, local)
+        ]
+        return sets, deleted
+
+    def revive(self, shard: "int | None" = None) -> int:
+        """Rebuild dead replicas from the coordinator's directory.
+
+        The coordinator's raw texts and placement table are exactly the
+        state :meth:`save` would snapshot, so a fresh replica built
+        from them is in lockstep with any survivor: same sets, same
+        local ids, same tombstones.  Restricts to *shard* when given,
+        else sweeps every shard; returns how many replicas came back.
+        """
+        self._ensure_open()
+        targets = range(self.n_shards) if shard is None else [shard]
+        revived = 0
+        for k in targets:
+            state = None
+            for r in range(self._replica_count):
+                if self._healthy[k][r]:
+                    continue
+                if state is None:
+                    state = self._shard_state(k)
+                try:
+                    self._shards[k][r].close()
+                except Exception:  # noqa: BLE001 - endpoint already dead
+                    pass
+                self._shards[k][r] = self._make_replica(k, r, *state)
+                self._healthy[k][r] = True
+                self.stats.replicas_revived += 1
+                revived += 1
+        return revived
+
+    # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
     def _mutated(self) -> None:
@@ -349,19 +725,44 @@ class SilkMothCluster:
             self.stats.invalidations += 1
 
     def _pick_shard(self) -> int:
-        """Placement policy: the least-loaded shard, lowest index first.
+        """Placement policy: the least-loaded *reachable* shard.
 
-        Starting from an empty or balanced cluster this degenerates to
-        round-robin, and it keeps converging back to balance as
-        removals skew the shards.
+        Ties break toward the lowest index, so from an empty or
+        balanced cluster this degenerates to round-robin and keeps
+        converging back to balance as removals skew the shards.  Shards
+        with no healthy replica cannot take writes and are excluded;
+        with every shard lost there is nowhere to place anything and
+        the degraded error names them all.
         """
-        return min(range(self.n_shards), key=lambda k: (self._shard_live[k], k))
+        candidates = [
+            k
+            for k in range(self.n_shards)
+            if self._primary_replica(k) is not None
+        ]
+        if not candidates:
+            raise self._degraded(range(self.n_shards))
+        return min(candidates, key=lambda k: (self._shard_live[k], k))
 
-    def add_set(self, elements: Sequence[str]) -> int:
-        """Append one set; returns its global id (searchable immediately)."""
-        self._ensure_open()
-        shard = self._pick_shard()
-        local = self._transports[shard].request("add", (tuple(elements),))
+    def _place_new_set(self, elements: Sequence[str]) -> tuple[int, int]:
+        """Add *elements* to the best reachable shard; (shard, local).
+
+        If the picked shard's last replicas die during the write, the
+        placement simply retries on the next reachable shard -- each
+        failure shrinks the candidate set, so the loop is bounded and
+        ends in :class:`ClusterDegradedError` only when *no* shard can
+        take the write.  Nothing here touches coordinator bookkeeping;
+        callers commit only after a shard accepted the set.
+        """
+        payload = (tuple(elements),)
+        while True:
+            shard = self._pick_shard()
+            try:
+                return shard, self._mutate_shard(shard, "add", payload)
+            except ClusterDegradedError:
+                continue
+
+    def _commit_add(self, shard: int, local: int, elements) -> int:
+        """Coordinator bookkeeping for one accepted append; global id."""
         gid = len(self._placement)
         self._placement.append((shard, local))
         self._raw.append(tuple(elements))
@@ -371,17 +772,30 @@ class SilkMothCluster:
         self._summaries[shard].add_set_tokens(
             *element_token_hashes(self._tokenizer, elements)
         )
+        return gid
+
+    def add_set(self, elements: Sequence[str]) -> int:
+        """Append one set; returns its global id (searchable immediately)."""
+        self._ensure_open()
+        shard, local = self._place_new_set(elements)
+        gid = self._commit_add(shard, local, elements)
         self.stats.adds += 1
         self._mutated()
         return gid
 
     def remove_set(self, set_id: int) -> None:
-        """Tombstone one global set; it stops matching immediately."""
+        """Tombstone one global set; it stops matching immediately.
+
+        The tombstone commits only after at least one replica of the
+        owning shard applied it -- a fully lost shard raises
+        :class:`ClusterDegradedError` with the coordinator's id space
+        untouched, so it never drifts from what surviving shards hold.
+        """
         self._ensure_open()
         if not self.is_live(set_id):
             raise KeyError(f"set_id {set_id} is not a live set")
         shard, local = self._placement[set_id]
-        self._transports[shard].request("remove", (local,))
+        self._mutate_shard(shard, "remove", (local,))
         self._deleted.add(set_id)
         self._shard_live[shard] -= 1
         self._shard_generations[shard] += 1
@@ -393,27 +807,28 @@ class SilkMothCluster:
 
         Tombstone-plus-append, mirroring the single-node service: the
         old id is never reused, and the new record may land on a
-        different shard (the placement policy decides).
+        different shard (the placement policy decides).  Failure
+        atomicity: if the owning shard cannot apply the remove, nothing
+        changes; if the remove applied but *every* shard then refused
+        the append, the tombstone still commits (the surviving shards
+        did drop the old record) and the degraded error propagates --
+        either way :meth:`live_set_ids` agrees with the shards.
         """
         self._ensure_open()
         if not self.is_live(set_id):
             raise KeyError(f"set_id {set_id} is not a live set")
         old_shard, old_local = self._placement[set_id]
-        self._transports[old_shard].request("remove", (old_local,))
+        self._mutate_shard(old_shard, "remove", (old_local,))
         self._deleted.add(set_id)
         self._shard_live[old_shard] -= 1
         self._shard_generations[old_shard] += 1
-        shard = self._pick_shard()
-        local = self._transports[shard].request("add", (tuple(elements),))
-        gid = len(self._placement)
-        self._placement.append((shard, local))
-        self._raw.append(tuple(elements))
-        self._shard_to_global[shard].append(gid)
-        self._shard_live[shard] += 1
-        self._shard_generations[shard] += 1
-        self._summaries[shard].add_set_tokens(
-            *element_token_hashes(self._tokenizer, elements)
-        )
+        try:
+            shard, local = self._place_new_set(elements)
+        except ClusterDegradedError:
+            self.stats.removes += 1
+            self._mutated()
+            raise
+        gid = self._commit_add(shard, local, elements)
         self.stats.updates += 1
         self._mutated()
         return gid
@@ -427,9 +842,15 @@ class SilkMothCluster:
         meaningful (the query cache is generation-gated anyway).
         """
         self._ensure_open()
-        for transport in self._transports:
-            transport.submit("compact", ())
-        removed = sum(self._collect_from(list(range(self.n_shards))))
+        shards = list(range(self.n_shards))
+        lost = self.lost_shards()
+        if lost:
+            # Compaction touches every shard's data; with a shard fully
+            # lost it cannot be performed consistently.
+            raise self._degraded(lost)
+        removed = 0
+        for k in shards:
+            removed += self._mutate_shard(k, "compact", ())
         moves = self.rebalance()
         self._refresh_summaries()
         if removed or moves:
@@ -448,20 +869,32 @@ class SilkMothCluster:
         self._ensure_open()
         moves = 0
         while True:
+            # Only reachable shards participate: a lost shard can
+            # neither give up sets nor take new ones until revived.
+            candidates = [
+                k
+                for k in range(self.n_shards)
+                if self._primary_replica(k) is not None
+            ]
+            if len(candidates) < 2:
+                break
             heaviest = max(
-                range(self.n_shards), key=lambda k: (self._shard_live[k], -k)
+                candidates, key=lambda k: (self._shard_live[k], -k)
             )
             lightest = min(
-                range(self.n_shards), key=lambda k: (self._shard_live[k], k)
+                candidates, key=lambda k: (self._shard_live[k], k)
             )
             if self._shard_live[heaviest] - self._shard_live[lightest] <= 1:
                 break
             gid = self._youngest_live_on(heaviest)
             old_local = self._placement[gid][1]
-            self._transports[heaviest].request("remove", (old_local,))
-            local = self._transports[lightest].request(
-                "add", (self._raw[gid],)
-            )
+            try:
+                local = self._mutate_shard(lightest, "add", (self._raw[gid],))
+            except ClusterDegradedError:
+                continue  # destination just died; recompute candidates
+            # Commit the new home BEFORE retiring the old copy: if the
+            # source shard dies mid-remove, its replicas revive from the
+            # updated placement table, so the stale copy never returns.
             self._placement[gid] = (lightest, local)
             self._shard_to_global[lightest].append(gid)
             self._shard_live[heaviest] -= 1
@@ -472,6 +905,10 @@ class SilkMothCluster:
                 *element_token_hashes(self._tokenizer, self._raw[gid])
             )
             moves += 1
+            try:
+                self._mutate_shard(heaviest, "remove", (old_local,))
+            except ClusterDegradedError:
+                continue  # source fully lost; stale copy dies with it
         self.stats.rebalance_moves += moves
         return moves
 
@@ -489,9 +926,8 @@ class SilkMothCluster:
 
     def _refresh_summaries(self) -> None:
         """Rebuild every routing summary from the shards' live tokens."""
-        for transport in self._transports:
-            transport.submit("summary", ())
-        replies = self._collect_from(list(range(self.n_shards)))
+        shards = list(range(self.n_shards))
+        replies = self._fanout_read("summary", [() for _ in shards], shards)
         for summary, (hashes, has_empty) in zip(self._summaries, replies):
             summary.rebuild(hashes, has_empty, self._summary_bits)
 
@@ -501,31 +937,6 @@ class SilkMothCluster:
     def _ensure_open(self) -> None:
         if self._closed:
             raise RuntimeError("cluster is closed")
-
-    def _collect_from(self, shard_indices: list) -> list:
-        """Collect one reply per listed shard, draining ALL of them.
-
-        The submit/collect protocol has no request ids -- replies pair
-        up with submissions by order -- so a shard failure must not
-        abort the loop with other shards' replies still queued (the
-        next command would then receive a stale answer).  Every
-        submitted reply is collected (or its error recorded) before the
-        first failure is re-raised.
-        """
-        replies = []
-        failure: "tuple[int, Exception] | None" = None
-        for k in shard_indices:
-            try:
-                replies.append(self._transports[k].collect())
-            except Exception as exc:  # noqa: BLE001 - re-raised after drain
-                replies.append(None)
-                observe_transport_error()
-                if failure is None:
-                    failure = (k, exc)
-        if failure is not None:
-            shard, exc = failure
-            raise ShardTransportError(f"shard {shard}: {exc}") from exc
-        return replies
 
     def _route(self, probe: ReferenceProbe) -> list[int]:
         """Shard indices that might answer *probe* (all, sans certificate)."""
@@ -566,17 +977,13 @@ class SilkMothCluster:
             # span, so a fanned-out pass stays one coherent trace tree
             # even across worker processes.
             trace_ctx = current_context()
-            for k in selected:
-                self._transports[k].submit(
-                    "search",
-                    (
-                        payload,
-                        skip_local if k == skip_shard else None,
-                        trace_ctx,
-                    ),
-                )
-            with span("cluster.collect", shards=len(selected)):
-                replies = self._collect_from(selected)
+            payloads = [
+                (payload, skip_local if k == skip_shard else None, trace_ctx)
+                for k in selected
+            ]
+            replies = self._fanout_read(
+                "search", payloads, selected, collect_span=True
+            )
             merged_results: list[SearchResult] = []
             per_shard: list[tuple[int, object]] = []
             for k, (results, pass_stats, shard_spans) in zip(selected, replies):
@@ -616,10 +1023,17 @@ class SilkMothCluster:
         costs = self.autocal.observe(self.stats)
         if costs is None:
             return
+        shards = list(range(self.n_shards))
         with span("planner.autocal_replan", shards=self.n_shards):
-            for transport in self._transports:
-                transport.submit("replan", (costs.backend_seconds,))
-            self._collect_from(list(range(self.n_shards)))
+            # Best-effort broadcast: a re-plan must never turn a query
+            # that already answered into a degraded failure, so lost
+            # shards are simply skipped (they re-plan on revive).
+            self._fanout_read(
+                "replan",
+                [(costs.backend_seconds,) for _ in shards],
+                shards,
+                allow_lost=True,
+            )
         if self._autocal_export_path is not None:
             self.export_cost_profile(self._autocal_export_path)
 
@@ -742,11 +1156,24 @@ class SilkMothCluster:
     # Introspection
     # ------------------------------------------------------------------
     def shard_infos(self) -> list[dict]:
-        """One descriptor per shard (sizes, generation, decision, stats)."""
+        """One descriptor per shard (sizes, generation, decision, stats).
+
+        Best-effort: a shard with no surviving replica contributes a
+        stub entry (``{"lost": True, ...}``) instead of failing the
+        whole introspection call -- operators need :meth:`info` *most*
+        while the cluster is degraded.
+        """
         self._ensure_open()
-        for transport in self._transports:
-            transport.submit("info", ())
-        return self._collect_from(list(range(self.n_shards)))
+        shards = list(range(self.n_shards))
+        replies = self._fanout_read(
+            "info", [() for _ in shards], shards, allow_lost=True
+        )
+        return [
+            reply
+            if reply is not None
+            else {"lost": True, "shard_index": k, "live_sets": 0}
+            for k, reply in zip(shards, replies)
+        ]
 
     def info(self) -> dict:
         """Cluster descriptor: shards, routing state, merged profile."""
@@ -874,14 +1301,19 @@ class SilkMothCluster:
         summary_bits: "int | None" = None,
         cache_capacity: int = 1024,
         compact_dead_fraction: float = 0.25,
+        replicas: "int | None" = None,
+        deadline: "float | None" = None,
+        backoff: "float | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> "SilkMothCluster":
         """Rebuild a cluster from a manifest written by :meth:`save`.
 
-        The shard count comes from the manifest; the transport may
-        differ from the one the snapshot was taken under (it is an
-        execution concern, not data).  Tokenizer settings are validated
-        against *config*; lifetime stats are restored only under the
-        same config fingerprint (the write generation always is).
+        The shard count comes from the manifest; the transport (and the
+        replica count) may differ from what the snapshot was taken
+        under (execution concerns, not data).  Tokenizer settings are
+        validated against *config*; lifetime stats are restored only
+        under the same config fingerprint (the write generation always
+        is).
         """
         manifest = Path(path)
         payload = load_cluster_manifest(manifest)
@@ -930,6 +1362,10 @@ class SilkMothCluster:
             cache_capacity,
             compact_dead_fraction,
             shard_states=shard_states,
+            replicas=replicas,
+            deadline=deadline,
+            backoff=backoff,
+            fault_plan=fault_plan,
         )
         cluster._placement = [
             (int(pair[0]), int(pair[1])) for pair in placement_raw

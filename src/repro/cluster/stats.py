@@ -100,6 +100,14 @@ class ClusterStats(ServiceStats):
     broadcasts: int = 0
     #: Sets moved between shards by :meth:`SilkMothCluster.compact`.
     rebalance_moves: int = 0
+    #: Requests retried on another replica after a replica failure.
+    failovers: int = 0
+    #: Replicas marked unhealthy and torn down (crash/hang/lost reply).
+    replicas_lost: int = 0
+    #: Dead replicas rebuilt by :meth:`SilkMothCluster.revive`.
+    replicas_revived: int = 0
+    #: Operations that hit a shard with zero surviving replicas.
+    degraded_failures: int = 0
 
     def record_routing(self, pass_stats: ClusterPassStats) -> None:
         """Fold one query's fan-out verdict into the lifetime counters."""
@@ -124,6 +132,10 @@ class ClusterStats(ServiceStats):
         payload["shards_skipped_total"] = self.shards_skipped_total
         payload["broadcasts"] = self.broadcasts
         payload["rebalance_moves"] = self.rebalance_moves
+        payload["failovers"] = self.failovers
+        payload["replicas_lost"] = self.replicas_lost
+        payload["replicas_revived"] = self.replicas_revived
+        payload["degraded_failures"] = self.degraded_failures
         payload["shard_skip_rate"] = round(self.shard_skip_rate, 4)
         return payload
 
@@ -141,6 +153,10 @@ class ClusterStats(ServiceStats):
             "shards_skipped_total",
             "broadcasts",
             "rebalance_moves",
+            "failovers",
+            "replicas_lost",
+            "replicas_revived",
+            "degraded_failures",
         ):
             value = payload.get(name, 0)
             if isinstance(value, int) and not isinstance(value, bool):

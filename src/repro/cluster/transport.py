@@ -56,6 +56,18 @@ class ShardTransportError(RuntimeError):
     """A shard worker raised while handling a command."""
 
 
+class ShardTimeoutError(ShardTransportError):
+    """A shard reply did not arrive within the per-request deadline.
+
+    After a timeout the transport is desynchronised -- the late reply
+    may still arrive and would pair with the *next* command -- so the
+    caller must treat the endpoint as dead (close or :meth:`kill` it)
+    rather than keep talking to it.  The cluster coordinator does
+    exactly that: a timed-out replica is marked unhealthy and the
+    request fails over to the next replica.
+    """
+
+
 def resolve_transport_name(name: str | None) -> str:
     """Resolve the transport knob: explicit value, env var, inline."""
     if name is None:
@@ -76,17 +88,38 @@ class ShardTransport(abc.ABC):
         """Dispatch one command without waiting for its result."""
 
     @abc.abstractmethod
-    def collect(self):
-        """Return the result of the oldest un-collected ``submit``."""
+    def collect(self, timeout: "float | None" = None):
+        """Return the result of the oldest un-collected ``submit``.
 
-    def request(self, command: str, payload: tuple = ()):
+        *timeout* bounds the wait in seconds; expiry raises
+        :class:`ShardTimeoutError` (in-process transports answer
+        immediately and never time out).  Calling without a pending
+        ``submit`` raises :class:`ShardTransportError` on every
+        transport -- protocol misuse fails fast and uniformly.
+        """
+
+    def request(
+        self, command: str, payload: tuple = (), timeout: "float | None" = None
+    ):
         """Convenience round-trip: submit then collect."""
         self.submit(command, payload)
-        return self.collect()
+        return self.collect(timeout)
 
     @abc.abstractmethod
     def close(self) -> None:
-        """Shut the shard down and release its resources."""
+        """Shut the shard down cleanly and release its resources
+        (idempotent on every transport)."""
+
+    def kill(self) -> None:
+        """Tear the shard down *abruptly*, skipping the close handshake.
+
+        Models sudden worker death (OOM kill, machine loss): no drain,
+        no goodbye message.  After :meth:`kill`, ``submit``/``collect``
+        raise :class:`ShardTransportError`.  The default implementation
+        is a plain :meth:`close`; transports with real workers
+        terminate the process instead.
+        """
+        self.close()
 
 
 class InlineTransport(ShardTransport):
@@ -103,9 +136,12 @@ class InlineTransport(ShardTransport):
             config, raw_sets, deleted, compact_dead_fraction
         )
         self._pending: list = []
+        self._dead = False
 
     def submit(self, command: str, payload: tuple) -> None:
         """Execute immediately (inline shards have no concurrency)."""
+        if self._dead:
+            raise ShardTransportError("transport is closed")
         try:
             self._pending.append((True, self.host.handle(command, payload)))
         except Exception as exc:  # noqa: BLE001 - mirrored to the caller
@@ -113,16 +149,25 @@ class InlineTransport(ShardTransport):
                 (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
             )
 
-    def collect(self):
-        """Pop the oldest submitted result (raising mirrored errors)."""
+    def collect(self, timeout: "float | None" = None):
+        """Pop the oldest submitted result (raising mirrored errors).
+
+        *timeout* is accepted for interface parity but never fires:
+        inline results are computed at submit time.
+        """
+        if self._dead:
+            raise ShardTransportError("transport is closed")
+        if not self._pending:
+            raise ShardTransportError("collect() without a pending submit()")
         ok, value = self._pending.pop(0)
         if not ok:
             raise ShardTransportError(value)
         return value
 
     def close(self) -> None:
-        """Nothing to release for an in-process shard."""
+        """Mark the in-process shard dead and drop pending replies."""
         self._pending.clear()
+        self._dead = True
 
 
 def _worker_loop(conn: Connection) -> None:
@@ -187,15 +232,35 @@ class _RemoteTransport(ShardTransport):
 
     def submit(self, command: str, payload: tuple) -> None:
         """Send one command; the worker replies in submission order."""
-        self._conn.send((command, payload))
+        if self._conn is None:
+            raise ShardTransportError("transport is closed")
+        try:
+            self._conn.send((command, payload))
+        except (OSError, BrokenPipeError) as exc:
+            raise ShardTransportError(f"shard worker is gone: {exc}") from exc
         self._outstanding += 1
 
-    def collect(self):
-        """Receive the oldest outstanding reply (raising mirrored errors)."""
+    def collect(self, timeout: "float | None" = None):
+        """Receive the oldest outstanding reply (raising mirrored errors).
+
+        With a *timeout*, waits at most that many seconds for the reply
+        and raises :class:`ShardTimeoutError` on expiry -- after which
+        the connection is desynchronised and must not be reused (see
+        :class:`ShardTimeoutError`).
+        """
+        if self._conn is None:
+            raise ShardTransportError("transport is closed")
         if self._outstanding <= 0:
             raise ShardTransportError("collect() without a pending submit()")
         self._outstanding -= 1
-        ok, value = self._conn.recv()
+        if timeout is not None and not self._conn.poll(timeout):
+            raise ShardTimeoutError(
+                f"no shard reply within {timeout:.3f}s deadline"
+            )
+        try:
+            ok, value = self._conn.recv()
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            raise ShardTransportError(f"shard worker died: {exc}") from exc
         if not ok:
             raise ShardTransportError(value)
         return value
@@ -205,9 +270,11 @@ class _RemoteTransport(ShardTransport):
         if self._conn is None:
             return
         try:
-            # Drain anything outstanding so the close reply pairs up.
+            # Drain anything outstanding so the close reply pairs up; a
+            # bounded wait per reply keeps close() from hanging forever
+            # on a worker that will never answer.
             while self._outstanding > 0:
-                self.collect()
+                self.collect(timeout=5)
             self._conn.send(("close", ()))
             self._conn.recv()
         except (OSError, EOFError, BrokenPipeError, ShardTransportError):
@@ -221,6 +288,17 @@ class _RemoteTransport(ShardTransport):
                     self._process.terminate()
                     self._process.join(timeout=5)
                 self._process = None
+
+    def kill(self) -> None:
+        """Terminate the worker process immediately (no handshake)."""
+        if self._process is not None:
+            self._process.terminate()
+            self._process.join(timeout=5)
+            self._process = None
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._outstanding = 0
 
 
 class ProcessTransport(_RemoteTransport):

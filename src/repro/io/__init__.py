@@ -12,10 +12,15 @@ from repro.io.loaders import (
     sets_from_iterable,
 )
 from repro.io.persistence import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+    bitflip_snapshot,
     load_collection,
     load_service_snapshot,
     save_collection,
     save_service_snapshot,
+    truncate_snapshot,
 )
 from repro.io.writers import (
     read_discovery_csv,
@@ -29,6 +34,11 @@ from repro.io.writers import (
 )
 
 __all__ = [
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "bitflip_snapshot",
+    "truncate_snapshot",
     "load_collection",
     "load_csv_columns",
     "load_csv_schema",

@@ -71,6 +71,29 @@ from repro.obs.instrument import observe_snapshot
 from repro.obs.trace import span
 from repro.sim.functions import SimilarityKind
 
+class SnapshotError(ValueError):
+    """Base class for snapshot/manifest load failures.
+
+    Subclasses ``ValueError`` so long-standing callers that catch the
+    old exception keep working; new code should catch this (or one of
+    the two subclasses) to distinguish "the file is bad" from ordinary
+    argument errors.  Raising *typed* errors here is part of the fault
+    story: a truncated or version-skewed snapshot must fail with a
+    diagnosis, never with a raw ``KeyError``/``json.JSONDecodeError``
+    leaking from the parser.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a well-formed snapshot (truncated, corrupt,
+    wrong magic, or missing/mistyped required fields)."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The file parses but declares a schema version this build does
+    not read (version skew between writer and reader)."""
+
+
 #: Magic string identifying collection snapshots.
 FORMAT_NAME = "silkmoth-collection"
 #: Plain collection snapshot schema version.
@@ -159,17 +182,19 @@ def _read_payload(path: str | Path) -> dict:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+            raise SnapshotFormatError(
+                f"{path}: truncated or invalid JSON: {exc}"
+            ) from exc
     observe_snapshot("load")
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
-        raise ValueError(f"{path}: not a {FORMAT_NAME} snapshot")
+        raise SnapshotFormatError(f"{path}: not a {FORMAT_NAME} snapshot")
     version = payload.get("version")
     if version not in (
         FORMAT_VERSION,
         SERVICE_FORMAT_VERSION,
         SHARD_FORMAT_VERSION,
     ):
-        raise ValueError(
+        raise SnapshotVersionError(
             f"{path}: unsupported snapshot version {version!r} "
             f"(this build reads versions {FORMAT_VERSION}, "
             f"{SERVICE_FORMAT_VERSION} and {SHARD_FORMAT_VERSION})"
@@ -182,19 +207,26 @@ def _collection_from_payload(path: str | Path, payload: dict) -> SetCollection:
         kind = SimilarityKind(payload["similarity"])
         q = int(payload["q"])
         sets = payload["sets"]
-    except (KeyError, ValueError) as exc:
-        raise ValueError(f"{path}: malformed snapshot: {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotFormatError(f"{path}: malformed snapshot: {exc}") from exc
     if not isinstance(sets, list):
-        raise ValueError(f"{path}: 'sets' must be a list")
-    collection = SetCollection.from_strings(sets, kind=kind, q=q)
+        raise SnapshotFormatError(f"{path}: 'sets' must be a list")
+    try:
+        collection = SetCollection.from_strings(sets, kind=kind, q=q)
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotFormatError(
+            f"{path}: malformed set records: {exc}"
+        ) from exc
     deleted = payload.get("deleted", [])
     if not isinstance(deleted, list):
-        raise ValueError(f"{path}: 'deleted' must be a list of set ids")
+        raise SnapshotFormatError(f"{path}: 'deleted' must be a list of set ids")
     if len(set(deleted)) != len(deleted):
-        raise ValueError(f"{path}: 'deleted' repeats a set id")
+        raise SnapshotFormatError(f"{path}: 'deleted' repeats a set id")
     for set_id in deleted:
         if not isinstance(set_id, int) or not 0 <= set_id < len(collection):
-            raise ValueError(f"{path}: invalid tombstoned set id {set_id!r}")
+            raise SnapshotFormatError(
+                f"{path}: invalid tombstoned set id {set_id!r}"
+            )
         collection.remove_set(set_id)
     return collection
 
@@ -240,7 +272,7 @@ def load_service_snapshot(
         )
     metadata = payload.get("service", {})
     if not isinstance(metadata, dict):
-        raise ValueError(f"{path}: 'service' metadata must be an object")
+        raise SnapshotFormatError(f"{path}: 'service' metadata must be an object")
     return collection, metadata
 
 
@@ -295,7 +327,7 @@ def load_shard_snapshot(
     payload = _read_payload(path)
     shard_meta = payload.get("shard", {})
     if not isinstance(shard_meta, dict):
-        raise ValueError(f"{path}: 'shard' metadata must be an object")
+        raise SnapshotFormatError(f"{path}: 'shard' metadata must be an object")
     return collection, shard_meta
 
 
@@ -327,9 +359,17 @@ def save_cluster_manifest(
 def load_cluster_manifest(path: str | Path) -> dict:
     """Read and structurally validate a cluster manifest.
 
-    Returns the raw payload dict (``similarity``/``q`` parsed and
-    re-validated by the caller against its config); shard files are
-    not opened here.
+    Returns the raw payload dict (``similarity``/``q`` are checked for
+    presence and shape here, then re-validated by the caller against
+    its config); shard files are not opened here.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the file is truncated, not a manifest, or missing/mistyping
+        a required field.
+    SnapshotVersionError
+        If the manifest declares a version this build does not read.
     """
     with span("snapshot.load", path=str(path)), open(
         path, encoding="utf-8"
@@ -337,21 +377,84 @@ def load_cluster_manifest(path: str | Path) -> dict:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+            raise SnapshotFormatError(
+                f"{path}: truncated or invalid JSON: {exc}"
+            ) from exc
     observe_snapshot("load")
     if not isinstance(payload, dict) or payload.get("format") != CLUSTER_FORMAT_NAME:
-        raise ValueError(f"{path}: not a {CLUSTER_FORMAT_NAME} manifest")
+        raise SnapshotFormatError(f"{path}: not a {CLUSTER_FORMAT_NAME} manifest")
     if payload.get("version") != CLUSTER_FORMAT_VERSION:
-        raise ValueError(
+        raise SnapshotVersionError(
             f"{path}: unsupported manifest version "
             f"{payload.get('version')!r} (this build reads version "
             f"{CLUSTER_FORMAT_VERSION})"
         )
+    if not isinstance(payload.get("similarity"), str):
+        raise SnapshotFormatError(
+            f"{path}: manifest is missing its 'similarity' kind"
+        )
+    if not isinstance(payload.get("q"), int) or isinstance(
+        payload.get("q"), bool
+    ):
+        raise SnapshotFormatError(f"{path}: manifest 'q' must be an integer")
     shards = payload.get("shards")
     if not isinstance(shards, list) or not all(
         isinstance(name, str) for name in shards
     ):
-        raise ValueError(f"{path}: 'shards' must be a list of file names")
+        raise SnapshotFormatError(f"{path}: 'shards' must be a list of file names")
     if not isinstance(payload.get("cluster", {}), dict):
-        raise ValueError(f"{path}: 'cluster' metadata must be an object")
+        raise SnapshotFormatError(f"{path}: 'cluster' metadata must be an object")
     return payload
+
+
+# ----------------------------------------------------------------------
+# Fault injection: snapshot corruption helpers
+# ----------------------------------------------------------------------
+def truncate_snapshot(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Truncate a snapshot file in place; returns the bytes kept.
+
+    Models the crash classes the VDBMS bug study files under
+    *incomplete persistence*: a writer (or the kernel) died before the
+    tail of the file reached disk.  The repository's own writers are
+    atomic (:func:`atomic_write_text`), so this helper exists to forge
+    the non-atomic writes of other systems -- the chaos suite uses it
+    to pin that every loader rejects the result with a typed
+    :class:`SnapshotFormatError` instead of a parser traceback.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def bitflip_snapshot(
+    path: str | Path, offset: "int | None" = None, seed: int = 0
+) -> int:
+    """Flip one bit of a snapshot file in place; returns the offset.
+
+    Models silent media corruption.  With *offset* ``None`` the byte is
+    chosen deterministically from *seed*, so a seeded fault plan
+    corrupts the same byte on every replay.  The corrupted file may
+    still be valid JSON (a flipped bit inside a string literal), so
+    callers asserting load failure should corrupt structural bytes or
+    check content-level validation too.
+    """
+    import random
+
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path}: cannot bit-flip an empty file")
+    if offset is None:
+        offset = random.Random(seed).randrange(len(data))
+    if not 0 <= offset < len(data):
+        raise ValueError(
+            f"{path}: offset {offset} out of range for {len(data)} bytes"
+        )
+    data[offset] ^= 1 << 3
+    path.write_bytes(bytes(data))
+    return offset

@@ -131,6 +131,21 @@ class _Handles:
             "Shard transport round-trips that raised.",
             "counter",
         )
+        self.failovers = registry.register(
+            "silkmoth_failovers_total",
+            "Shard requests retried on another replica.",
+            "counter",
+        )
+        self.replica_deaths = registry.register(
+            "silkmoth_replica_deaths_total",
+            "Shard replicas marked unhealthy and torn down.",
+            "counter",
+        )
+        self.degraded_queries = registry.register(
+            "silkmoth_degraded_queries_total",
+            "Operations that failed because a shard lost every replica.",
+            "counter",
+        )
         self.autocal_exports = registry.register(
             "silkmoth_autocal_exports_total",
             "Cost profiles derived by the auto-calibration sampler.",
@@ -203,6 +218,21 @@ def observe_snapshot(direction: str) -> None:
 def observe_transport_error() -> None:
     """Record one failed shard transport round-trip."""
     handles().transport_errors.inc()
+
+
+def observe_failover() -> None:
+    """Record one request retried on another replica."""
+    handles().failovers.inc()
+
+
+def observe_replica_death() -> None:
+    """Record one replica marked unhealthy and torn down."""
+    handles().replica_deaths.inc()
+
+
+def observe_degraded() -> None:
+    """Record one operation lost to a fully-dead shard."""
+    handles().degraded_queries.inc()
 
 
 def observe_autocal_export() -> None:

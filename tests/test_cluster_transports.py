@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import ShardTransportError, SilkMothCluster
+from repro.cluster import (
+    ClusterDegradedError,
+    ShardTransportError,
+    SilkMothCluster,
+)
 from repro.cluster.transport import (
     KNOWN_TRANSPORTS,
     make_transport,
@@ -94,12 +98,17 @@ def test_pipelined_submits_collect_in_order(transport):
         endpoint.close()
 
 
-def test_collect_without_submit_raises():
-    """Protocol misuse fails fast instead of deadlocking."""
-    endpoint = make_transport("process", CONFIG, ())
+@pytest.mark.parametrize("transport", KNOWN_TRANSPORTS)
+def test_collect_without_submit_raises(transport):
+    """Protocol misuse fails fast and uniformly on every transport."""
+    endpoint = make_transport(transport, CONFIG, ())
     try:
-        with pytest.raises(ShardTransportError):
+        with pytest.raises(
+            ShardTransportError, match="without a pending submit"
+        ):
             endpoint.collect()
+        # Misuse is diagnosed, not destructive: the endpoint still works.
+        assert endpoint.request("ping") == "pong"
     finally:
         endpoint.close()
 
@@ -119,19 +128,24 @@ def test_transport_knob_resolution(monkeypatch):
 
 
 def test_failed_fanout_does_not_desynchronize_later_queries():
-    """All routed replies drain even when one shard fails mid-fan-out.
+    """A shard failure mid-fan-out degrades cleanly, never desyncs.
 
     The protocol pairs replies with submissions by order (no request
-    ids), so a shard error that aborted collection early would leave
-    queued replies to be mis-paired with the *next* command.  After a
-    failure, the surviving shards must answer later queries correctly.
+    ids), so a failed endpoint can never be reused -- the coordinator
+    marks the replica dead instead.  With a single replica that makes
+    the shard *lost*: queries needing it raise
+    :class:`ClusterDegradedError` naming it, queries routed elsewhere
+    still answer, and :meth:`revive` rebuilds the shard from the
+    coordinator's directory so later queries are correct again.
     """
-    with SilkMothCluster.from_sets(DATA, CONFIG, shards=2) as cluster:
+    with SilkMothCluster.from_sets(
+        DATA, CONFIG, shards=2, backoff=0.0
+    ) as cluster:
         expected_a = cluster.search(["ash bay"])
         expected_b = cluster.search(["oak sky"])
         cluster.cache.invalidate()
 
-        host = cluster._transports[0].host
+        host = cluster._shards[0][0].host
         original = host.handle
         calls = {"n": 0}
 
@@ -142,21 +156,47 @@ def test_failed_fanout_does_not_desynchronize_later_queries():
             return original(command, payload)
 
         host.handle = failing_handle
-        with pytest.raises(ShardTransportError) as excinfo:
+        with pytest.raises(ClusterDegradedError) as excinfo:
             cluster.search(["ash bay"])
-        assert "injected shard failure" in str(excinfo.value)
+        assert excinfo.value.shards == (0,)
         assert calls["n"] == 1  # the query did reach the broken shard
-        host.handle = original
+        assert cluster.lost_shards() == [0]
+        # Revive rebuilds shard 0 from the coordinator's raw/placement
+        # state (dropping the monkeypatched host with it); the very
+        # next queries answer correctly again.
+        assert cluster.revive() == 1
+        assert cluster.lost_shards() == []
         cluster.cache.invalidate()
-        # The very next queries pair replies correctly again.
         assert cluster.search(["oak sky"]) == expected_b
         assert cluster.search(["ash bay"]) == expected_a
 
 
-def test_close_is_idempotent_and_reaps_workers():
-    """Closing twice is safe and leaves no live worker behind."""
-    endpoint = make_transport("process", CONFIG, [("ash",)])
-    process = endpoint._process
+@pytest.mark.parametrize("transport", KNOWN_TRANSPORTS)
+def test_close_is_idempotent_and_normalizes_use_after_close(transport):
+    """Double close is safe; use-after-close raises uniformly."""
+    endpoint = make_transport(transport, CONFIG, [("ash",)])
+    process = getattr(endpoint, "_process", None)
     endpoint.close()
     endpoint.close()
-    assert process is not None and not process.is_alive()
+    if process is not None:
+        assert not process.is_alive()
+    with pytest.raises(ShardTransportError, match="closed"):
+        endpoint.submit("ping", ())
+    with pytest.raises(ShardTransportError):
+        endpoint.collect()
+
+
+@pytest.mark.parametrize("transport", KNOWN_TRANSPORTS)
+def test_kill_is_abrupt_and_normalizes_use_after_kill(transport):
+    """kill() models sudden worker death; the endpoint is then unusable."""
+    endpoint = make_transport(transport, CONFIG, [("ash",)])
+    endpoint.submit("ping", ())  # in-flight work dies with the worker
+    process = getattr(endpoint, "_process", None)
+    endpoint.kill()
+    if process is not None:
+        assert not process.is_alive()
+    with pytest.raises(ShardTransportError):
+        endpoint.submit("ping", ())
+    with pytest.raises(ShardTransportError):
+        endpoint.collect()
+    endpoint.close()  # close after kill stays a no-op

@@ -256,3 +256,124 @@ class TestCollectionSnapshots:
         assert [(r.reference_id, r.set_id) for r in first] == [
             (r.reference_id, r.set_id) for r in second
         ]
+
+
+class TestSnapshotFaults:
+    """Typed failure paths: corrupt, truncated and skewed snapshots.
+
+    The VDBMS bug study's "incomplete persistence" class in test form:
+    whatever a crashed writer or bit-rotting disk leaves behind, loads
+    must fail with a *typed* snapshot error (never a raw ``KeyError``
+    or ``JSONDecodeError``), and the corruption helpers used by the
+    chaos suites must be deterministic.
+    """
+
+    def _snapshot(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import save_collection
+
+        path = tmp_path / "snap.json"
+        save_collection(
+            path, SetCollection.from_strings([["a b", "c"], ["d e"]])
+        )
+        return path
+
+    def test_truncated_snapshot_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotFormatError, load_collection
+        from repro.io.persistence import truncate_snapshot
+
+        path = self._snapshot(tmp_path)
+        original = path.stat().st_size
+        kept = truncate_snapshot(path, keep_fraction=0.5)
+        assert 0 < kept < original
+        assert path.stat().st_size == kept
+        with pytest.raises(SnapshotFormatError):
+            load_collection(path)
+
+    def test_truncation_to_nothing_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotFormatError, load_collection
+        from repro.io.persistence import truncate_snapshot
+
+        path = self._snapshot(tmp_path)
+        assert truncate_snapshot(path, keep_fraction=0.0) == 0
+        with pytest.raises(SnapshotFormatError):
+            load_collection(path)
+
+    def test_bitflip_at_structural_byte_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotFormatError, load_collection
+        from repro.io.persistence import bitflip_snapshot
+
+        path = self._snapshot(tmp_path)
+        # Byte 0 is the opening brace; flipping a bit there guarantees
+        # the JSON layer (not the content) is what breaks.
+        assert bitflip_snapshot(path, offset=0) == 0
+        with pytest.raises(SnapshotFormatError):
+            load_collection(path)
+
+    def test_seeded_bitflip_is_deterministic(self, tmp_path):
+        from repro.io.persistence import bitflip_snapshot
+
+        first = self._snapshot(tmp_path)
+        offset_a = bitflip_snapshot(first, seed=42)
+        # Re-create a pristine copy and flip with the same seed: the
+        # chosen offset must be identical (the chaos log's seed is all
+        # that is needed to replay a corruption).
+        again = tmp_path / "again"
+        again.mkdir()
+        pristine = self._snapshot(again)
+        offset_b = bitflip_snapshot(pristine, seed=42)
+        assert offset_a == offset_b
+
+    def test_snapshot_errors_subclass_value_error(self):
+        from repro.io import (
+            SnapshotError,
+            SnapshotFormatError,
+            SnapshotVersionError,
+        )
+
+        assert issubclass(SnapshotError, ValueError)
+        assert issubclass(SnapshotFormatError, SnapshotError)
+        assert issubclass(SnapshotVersionError, SnapshotError)
+
+    def test_version_skew_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotVersionError, load_collection
+
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format": "silkmoth-collection", "version": 99, '
+            '"similarity": "jaccard", "q": 1, "sets": []}'
+        )
+        with pytest.raises(SnapshotVersionError):
+            load_collection(path)
+
+    def test_foreign_json_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotFormatError, load_collection
+
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SnapshotFormatError):
+            load_collection(path)
+
+    def test_cluster_manifest_missing_fields_is_a_typed_error(
+        self, tmp_path
+    ):
+        from repro.io import SnapshotFormatError
+        from repro.io.persistence import load_cluster_manifest
+
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            '{"format": "silkmoth-cluster", "version": 1, "shards": []}'
+        )
+        with pytest.raises(SnapshotFormatError):
+            load_cluster_manifest(path)
+
+    def test_corrupted_shard_structure_is_a_typed_error(self, tmp_path):
+        from repro.io import SnapshotFormatError, load_collection
+
+        path = tmp_path / "bad-sets.json"
+        path.write_text(
+            '{"format": "silkmoth-collection", "version": 1, '
+            '"similarity": "jaccard", "q": 1, "sets": [42]}'
+        )
+        with pytest.raises(SnapshotFormatError):
+            load_collection(path)
