@@ -1,0 +1,145 @@
+"""WAL overhead: mutation throughput and recovery vs cold load.
+
+The write-ahead log's pitch is crash durability at a bounded mutation
+cost: each ``add``/``remove``/``update`` pays one encoded append (plus
+an fsync when power-cut durability is on) before it applies, and
+queries are untouched.  This bench pins both halves -- the same
+mutation stream runs with the log off, on, and on+fsync, asserting
+bit-identical end states by fingerprint -- then measures what the log
+buys back: recovering a state from checkpoint + replay compared with
+loading the equivalent snapshot cold.
+"""
+
+import time
+
+from repro.bench.reporting import print_series
+from repro.service import SilkMothService
+from repro.workloads.applications import schema_matching
+
+
+def _workload(bench_sizes):
+    n = max(120, bench_sizes["schema_matching"] // 4)
+    return schema_matching(n_sets=n)
+
+
+def _mutate(service, sets):
+    """One deterministic mutation stream: adds, then updates, removes."""
+    for elements in sets:
+        service.add_set(list(elements))
+    for set_id in range(0, len(sets) // 4):
+        service.update_set(set_id * 2, list(sets[set_id]) + ["wal bench probe"])
+    for set_id in range(1, len(sets) // 8):
+        service.remove_set(set_id * 4 + 1)
+
+
+def _timed_stream(config, sets, **service_kwargs):
+    service = SilkMothService(config, **service_kwargs)
+    started = time.perf_counter()
+    _mutate(service, sets)
+    elapsed = time.perf_counter() - started
+    fingerprint = service.state_fingerprint()
+    service.close()
+    return elapsed, fingerprint
+
+
+def test_wal_append_overhead(bench_sizes, tmp_path):
+    workload = _workload(bench_sizes)
+    sets = [list(elements) for elements in workload.sets]
+
+    off_elapsed, off_state = _timed_stream(workload.config, sets, wal_dir=False)
+    wal_elapsed, wal_state = _timed_stream(
+        workload.config, sets, wal_dir=tmp_path / "wal", wal_fsync=False
+    )
+    sync_elapsed, sync_state = _timed_stream(
+        workload.config, sets, wal_dir=tmp_path / "wal-fsync", wal_fsync=True
+    )
+
+    mutations = len(sets) + len(sets) // 4 + max(0, len(sets) // 8 - 1)
+    print_series(
+        "WAL append overhead: one mutation stream, three durability modes",
+        "mode",
+        ["no wal", "wal", "wal+fsync"],
+        {
+            "stream": [off_elapsed, wal_elapsed, sync_elapsed],
+            "per mutation": [
+                off_elapsed / mutations,
+                wal_elapsed / mutations,
+                sync_elapsed / mutations,
+            ],
+        },
+        extra={"mutations": [mutations] * 3},
+    )
+    # The log buys durability, never different answers.
+    assert off_state == wal_state == sync_state
+
+
+def test_recovery_vs_cold_load(bench_sizes, tmp_path):
+    workload = _workload(bench_sizes)
+    sets = [list(elements) for elements in workload.sets]
+    snapshot = tmp_path / "oracle.json"
+    wal_dir = tmp_path / "wal"
+
+    # compact_dead_fraction=1.0 suppresses auto-checkpoints, so the
+    # whole stream stays in the log and recovery pays a full replay --
+    # the worst case, against a snapshot of the identical end state.
+    logged = SilkMothService(
+        workload.config,
+        wal_dir=wal_dir,
+        wal_fsync=False,
+        compact_dead_fraction=1.0,
+    )
+    _mutate(logged, sets)
+    expected = logged.state_fingerprint()
+    logged.close()
+
+    oracle = SilkMothService(workload.config, compact_dead_fraction=1.0)
+    _mutate(oracle, sets)
+    oracle.save(snapshot)
+    oracle.close()
+
+    started = time.perf_counter()
+    recovered = SilkMothService.recover(
+        wal_dir, workload.config, wal_fsync=False, checkpoint=False
+    )
+    recover_elapsed = time.perf_counter() - started
+    replayed = recovered.wal_recovery.replayed
+
+    load_started = time.perf_counter()
+    loaded = SilkMothService.load(snapshot, workload.config)
+    load_elapsed = time.perf_counter() - load_started
+
+    try:
+        print_series(
+            "Recovery wall clock: checkpoint + full replay vs cold snapshot load",
+            "path",
+            ["wal recover", "snapshot load"],
+            {"elapsed": [recover_elapsed, load_elapsed]},
+            extra={"records replayed": [replayed, 0]},
+        )
+        assert replayed > 0
+        assert recovered.state_fingerprint() == expected
+        assert loaded.state_fingerprint() == expected
+    finally:
+        recovered.close()
+        loaded.close()
+
+
+def test_wal_append_benchmark(bench_sizes, tmp_path, benchmark):
+    workload = _workload(bench_sizes)
+    sets = [list(elements) for elements in workload.sets]
+    service = SilkMothService(
+        workload.config, wal_dir=tmp_path / "wal", wal_fsync=False
+    )
+    try:
+        counter = iter(range(10**9))
+
+        def round_of_appends():
+            tag = next(counter)
+            for elements in sets[:50]:
+                service.add_set([f"round {tag}", *elements])
+            return service.generation
+
+        result = benchmark.pedantic(round_of_appends, rounds=3, iterations=1)
+        assert isinstance(result, int)
+    finally:
+        service.close()

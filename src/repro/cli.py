@@ -20,6 +20,10 @@ works on real files without writing any Python:
   version-3 snapshots, serve reference queries against the cluster
   (signature routing decides which shards each query touches), or
   inspect a manifest's shards and planner decisions.
+* ``silkmoth wal inspect|recover`` drives the durability layer:
+  summarise a write-ahead-log directory (checkpoint header, segments,
+  torn tail) or replay it into a recovered service, optionally
+  snapshotting the result with ``--output``.
 
 Input formats (``--format``):
 
@@ -58,6 +62,7 @@ from repro.io.writers import (
     write_search_csv,
     write_search_json,
 )
+from repro.io.wal import WalError
 from repro.sim.functions import SimilarityKind
 from repro.signatures import SCHEME_NAMES
 
@@ -599,6 +604,91 @@ def cmd_cluster_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_wal_inspect(args: argparse.Namespace) -> int:
+    """``silkmoth wal inspect``: summarise a WAL directory's contents."""
+    import json
+
+    from repro.io.wal import describe_wal
+
+    summary = describe_wal(args.wal_dir)
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    checkpoint = summary["checkpoint"]
+    if checkpoint is None:
+        print("checkpoint:   none (log-only directory)")
+    else:
+        print(f"checkpoint:   generation {checkpoint['generation']}, "
+              f"{checkpoint['sets']} set(s), {checkpoint['deleted']} "
+              f"tombstone(s), {checkpoint['bytes']} byte(s)")
+    for segment in summary["segments"]:
+        span_txt = (
+            f"seq {segment['first_seq']}..{segment['last_seq']}"
+            if segment["records"]
+            else "empty"
+        )
+        torn = ", torn tail" if segment["torn"] else ""
+        print(
+            f"segment:      {segment['name']}: {segment['records']} "
+            f"record(s) ({span_txt}), {segment['bytes']} byte(s){torn}"
+        )
+    print(f"records:      {summary['records']}")
+    print(f"replayable:   {summary['replayable']}")
+    if summary["torn_tail"] is not None:
+        print("torn tail:    1 undecodable trailing record (tolerated)")
+    return 0
+
+
+def cmd_wal_recover(args: argparse.Namespace) -> int:
+    """``silkmoth wal recover``: rebuild a service from its WAL.
+
+    The tokenizer settings come from the WAL's own checkpoint (a
+    recovery tool cannot ask the crashed process what config it ran
+    under); *delta*/*alpha* only shape query-time behaviour, not the
+    recovered state, so their defaults are fine for snapshotting.
+    """
+    import json
+
+    from repro.service import SilkMothService
+
+    checkpoint = Path(args.wal_dir) / "checkpoint.json"
+    if not checkpoint.exists():
+        raise WalError(
+            f"{args.wal_dir}: no checkpoint.json; not a WAL directory "
+            "(or the base checkpoint was lost)"
+        )
+    with open(checkpoint, encoding="utf-8") as handle:
+        header = json.load(handle)
+    kind = SimilarityKind(header["similarity"])
+    q = int(header["q"])
+    config = SilkMothConfig(
+        similarity=kind,
+        q=q if kind.is_edit_based else None,
+        delta=args.delta,
+        alpha=args.alpha,
+    )
+    service = SilkMothService.recover(
+        args.wal_dir, config, checkpoint=not args.no_checkpoint
+    )
+    report = service.wal_recovery
+    print(f"recovered:    generation {service.generation}", file=sys.stderr)
+    print(
+        f"replayed:     {report.replayed} record(s) "
+        f"({report.skipped} skipped, checkpoint at "
+        f"{report.checkpoint_generation})",
+        file=sys.stderr,
+    )
+    if report.torn_tail is not None:
+        print("torn tail:    dropped 1 partial record", file=sys.stderr)
+    print(f"fingerprint:  {service.state_fingerprint()}", file=sys.stderr)
+    if args.output:
+        service.save(args.output)
+        print(f"snapshot:     {args.output}", file=sys.stderr)
+    service.close()
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``silkmoth stats``: profile the input dataset (Table 3 style).
 
@@ -924,6 +1014,54 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_info.add_argument("manifest", help="cluster manifest file")
     cluster_info.set_defaults(func=cmd_cluster_info)
 
+    wal = sub.add_parser(
+        "wal",
+        help="durability: inspect or recover a write-ahead-log directory",
+    )
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+
+    wal_inspect = wal_sub.add_parser(
+        "inspect",
+        help="summarise a WAL directory (checkpoint, segments, torn tail)",
+    )
+    wal_inspect.add_argument("wal_dir", help="WAL directory (SILKMOTH_WAL_DIR)")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    wal_inspect.set_defaults(func=cmd_wal_inspect)
+
+    wal_recover = wal_sub.add_parser(
+        "recover",
+        help=(
+            "replay a WAL directory into a recovered service and report "
+            "(or snapshot, with --output) the result"
+        ),
+    )
+    wal_recover.add_argument("wal_dir", help="WAL directory to recover from")
+    wal_recover.add_argument(
+        "--output",
+        default=None,
+        help="also write the recovered state as a service snapshot (.json)",
+    )
+    wal_recover.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help=(
+            "leave the log untouched instead of checkpointing the "
+            "recovered state (for forensic inspection)"
+        ),
+    )
+    wal_recover.add_argument(
+        "--delta", type=float, default=0.7, help="relatedness threshold (0, 1]"
+    )
+    wal_recover.add_argument(
+        "--alpha",
+        type=float,
+        default=0.0,
+        help="element similarity threshold [0, 1] (default: 0)",
+    )
+    wal_recover.set_defaults(func=cmd_wal_recover)
+
     return parser
 
 
@@ -953,7 +1091,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, WalError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:

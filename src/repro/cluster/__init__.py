@@ -41,10 +41,16 @@ from repro.cluster.coordinator import (
     resolve_shard_count,
 )
 from repro.cluster.faults import (
+    CRASH_ENV_VAR,
     FAULT_KINDS,
+    WAL_CRASH_POINTS,
+    CrashInjected,
+    CrashPlan,
     FaultEvent,
     FaultPlan,
     FaultyTransport,
+    crash_at,
+    crash_point,
 )
 from repro.cluster.routing import (
     SUMMARY_BITS_ENV_VAR,
@@ -65,6 +71,7 @@ from repro.cluster.transport import (
 
 __all__ = [
     "BACKOFF_ENV_VAR",
+    "CRASH_ENV_VAR",
     "DEADLINE_ENV_VAR",
     "DEFAULT_BACKOFF",
     "DEFAULT_REPLICAS",
@@ -75,12 +82,17 @@ __all__ = [
     "SHARDS_ENV_VAR",
     "SUMMARY_BITS_ENV_VAR",
     "TRANSPORT_ENV_VAR",
+    "WAL_CRASH_POINTS",
     "ClusterDegradedError",
     "ClusterPassStats",
     "ClusterStats",
+    "CrashInjected",
+    "CrashPlan",
     "FaultEvent",
     "FaultPlan",
     "FaultyTransport",
+    "crash_at",
+    "crash_point",
     "ReferenceProbe",
     "ShardSummary",
     "ShardTimeoutError",

@@ -66,6 +66,7 @@ from repro.io.persistence import (
     save_cluster_manifest,
     save_shard_snapshot,
 )
+from repro.io.wal import resolve_wal_dir, wal_directory_in_use
 from repro.obs.autocal import AutoCalibrator
 from repro.obs.instrument import (
     observe_degraded,
@@ -227,6 +228,12 @@ class SilkMothCluster:
     fault_plan:
         Test-only :class:`~repro.cluster.faults.FaultPlan`; wraps every
         replica in a fault-injecting transport.
+    wal_dir:
+        Base directory for per-replica write-ahead logs (``None`` reads
+        ``SILKMOTH_WAL_DIR``; unset disables durability).  Each replica
+        logs to ``<wal_dir>/shard<k>-replica<r>``, so a dead replica --
+        or a whole restarted process -- can be rebuilt from disk (see
+        :meth:`revive` and :meth:`load`).
     """
 
     def __init__(
@@ -244,6 +251,7 @@ class SilkMothCluster:
         deadline: "float | None" = None,
         backoff: "float | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        wal_dir: "str | Path | None" = None,
     ):
         n_shards = resolve_shard_count(shards)
         self._init_common(
@@ -260,6 +268,7 @@ class SilkMothCluster:
             deadline=deadline,
             backoff=backoff,
             fault_plan=fault_plan,
+            wal_dir=wal_dir,
         )
 
     def _init_common(
@@ -277,6 +286,8 @@ class SilkMothCluster:
         deadline: "float | None" = None,
         backoff: "float | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        wal_dir: "str | Path | None" = None,
+        recover_from_wal: bool = False,
     ) -> None:
         """Shared constructor body (``__init__``, ``from_sets``, ``load``).
 
@@ -284,7 +295,10 @@ class SilkMothCluster:
         shard; summaries are built here from the live sets' tokens.
         Each logical shard gets *replicas* transport endpoints holding
         identical state; *fault_plan* (tests only) wraps every endpoint
-        in a :class:`~repro.cluster.faults.FaultyTransport`.
+        in a :class:`~repro.cluster.faults.FaultyTransport`.  With
+        *recover_from_wal* (the :meth:`load` path), replicas whose WAL
+        directory holds a log are rebuilt from disk and verified
+        against *shard_states* before being trusted.
         """
         self.config = config
         self._tokenizer = Tokenizer(
@@ -297,10 +311,17 @@ class SilkMothCluster:
         self._deadline = resolve_deadline(deadline)
         self._backoff = resolve_backoff(backoff)
         self._fault_plan = fault_plan
+        #: Base directory for per-replica WALs (None = no durability).
+        self._wal_dir = resolve_wal_dir(wal_dir)
+        #: From-disk replica rebuilds that failed verification and fell
+        #: back to coordinator state (observability for the tests).
+        self.wal_revive_fallbacks = 0
         #: Per shard: its replica transports (identical state each).
         self._shards: "list[list[ShardTransport]]" = [
             [
-                self._make_replica(k, r, raw_sets, deleted)
+                self._spawn_replica(
+                    k, r, raw_sets, deleted, try_recover=recover_from_wal
+                )
                 for r in range(self._replica_count)
             ]
             for k, (raw_sets, deleted) in enumerate(shard_states)
@@ -376,6 +397,7 @@ class SilkMothCluster:
         deadline = kwargs.pop("deadline", None)
         backoff = kwargs.pop("backoff", None)
         fault_plan = kwargs.pop("fault_plan", None)
+        wal_dir = kwargs.pop("wal_dir", None)
         if kwargs:
             # Validate BEFORE spawning: a typoed keyword must not leak
             # unreachable (hence unclosable) worker processes.
@@ -401,6 +423,7 @@ class SilkMothCluster:
             deadline=deadline,
             backoff=backoff,
             fault_plan=fault_plan,
+            wal_dir=wal_dir,
         )
         cluster._placement = placement
         cluster._raw = [tuple(elements) for elements in sets]
@@ -479,20 +502,77 @@ class SilkMothCluster:
     # ------------------------------------------------------------------
     # Replication and failover
     # ------------------------------------------------------------------
+    def _replica_wal_dir(self, shard: int, replica: int) -> "str | None":
+        """The WAL directory a replica logs to (None = WAL disabled)."""
+        if self._wal_dir is None:
+            return None
+        return str(self._wal_dir / f"shard{shard}-replica{replica}")
+
     def _make_replica(
-        self, shard: int, replica: int, raw_sets, deleted
+        self, shard: int, replica: int, raw_sets, deleted,
+        recover: bool = False,
     ) -> ShardTransport:
-        """Spawn one transport endpoint holding *shard*'s state."""
+        """Spawn one transport endpoint holding *shard*'s state.
+
+        With *recover*, the endpoint ignores *raw_sets*/*deleted* and
+        rebuilds its service from its own WAL directory -- the caller
+        is responsible for verifying the result against coordinator
+        state before trusting it (see :meth:`_spawn_replica`).
+        """
         inner = make_transport(
             self._transport_name,
             self.config,
             raw_sets,
             deleted,
             self._compact_dead_fraction,
+            wal_dir=self._replica_wal_dir(shard, replica),
+            recover=recover,
         )
         if self._fault_plan is not None:
             return FaultyTransport(inner, self._fault_plan, shard, replica)
         return inner
+
+    def _spawn_replica(
+        self, shard: int, replica: int, raw_sets, deleted,
+        try_recover: bool = False,
+    ) -> ShardTransport:
+        """Build one replica, preferring its on-disk WAL when asked.
+
+        The from-disk path is trust-but-verify: the recovered replica's
+        exported state must equal the expected ``(raw_sets, deleted)``
+        exactly, or the endpoint is discarded and rebuilt from that
+        authoritative state instead (counted in
+        :attr:`wal_revive_fallbacks`).  Any failure along the recovery
+        path -- corrupt log, dead worker, mismatched config -- falls
+        back the same way: recovery must never be able to make things
+        worse than a plain rebuild.
+        """
+        wal_dir = self._replica_wal_dir(shard, replica)
+        if try_recover and wal_dir is not None and wal_directory_in_use(wal_dir):
+            transport = None
+            try:
+                transport = self._make_replica(
+                    shard, replica, (), (), recover=True
+                )
+                exported_sets, exported_deleted, _ = transport.request(
+                    "export", timeout=self._deadline
+                )
+                expected_sets = [tuple(elements) for elements in raw_sets]
+                if (
+                    [tuple(s) for s in exported_sets] == expected_sets
+                    and sorted(exported_deleted) == sorted(deleted)
+                ):
+                    return transport
+                transport.close()
+                self.wal_revive_fallbacks += 1
+            except Exception:  # noqa: BLE001 - recovery must never block a rebuild
+                if transport is not None:
+                    try:
+                        transport.close()
+                    except Exception:  # noqa: BLE001 - endpoint already dead
+                        pass
+                self.wal_revive_fallbacks += 1
+        return self._make_replica(shard, replica, raw_sets, deleted)
 
     @property
     def replica_count(self) -> int:
@@ -687,7 +767,9 @@ class SilkMothCluster:
         ]
         return sets, deleted
 
-    def revive(self, shard: "int | None" = None) -> int:
+    def revive(
+        self, shard: "int | None" = None, from_disk: bool = False
+    ) -> int:
         """Rebuild dead replicas from the coordinator's directory.
 
         The coordinator's raw texts and placement table are exactly the
@@ -695,6 +777,13 @@ class SilkMothCluster:
         from them is in lockstep with any survivor: same sets, same
         local ids, same tombstones.  Restricts to *shard* when given,
         else sweeps every shard; returns how many replicas came back.
+
+        With *from_disk* (and a configured WAL directory) each dead
+        replica first tries to recover from its own write-ahead log;
+        the recovered state is verified against the coordinator's
+        directory and silently replaced by a plain rebuild on any
+        mismatch (see :attr:`wal_revive_fallbacks`), so the flag can
+        only change *how* a replica comes back, never *what* it holds.
         """
         self._ensure_open()
         targets = range(self.n_shards) if shard is None else [shard]
@@ -710,7 +799,9 @@ class SilkMothCluster:
                     self._shards[k][r].close()
                 except Exception:  # noqa: BLE001 - endpoint already dead
                     pass
-                self._shards[k][r] = self._make_replica(k, r, *state)
+                self._shards[k][r] = self._spawn_replica(
+                    k, r, *state, try_recover=from_disk
+                )
                 self._healthy[k][r] = True
                 self.stats.replicas_revived += 1
                 revived += 1
@@ -1247,9 +1338,23 @@ class SilkMothCluster:
         coordinator's directory (raw texts, placement), so no shard
         round-trip is needed and a snapshot of a remote-transport
         cluster costs the same as an inline one.
+
+        When the cluster runs with a WAL directory, every shard is also
+        asked to checkpoint its log first, so the manifest's recorded
+        positions describe freshly-truncated logs; a shard with no
+        healthy replica simply records ``None`` (the snapshot itself
+        never depends on shard round-trips).
         """
         self._ensure_open()
         manifest = Path(path)
+        wal_positions: "list[dict | None] | None" = None
+        if self._wal_dir is not None:
+            wal_positions = []
+            for k in range(self.n_shards):
+                try:
+                    wal_positions.append(self._mutate_shard(k, "checkpoint", ()))
+                except ClusterDegradedError:
+                    wal_positions.append(None)
         shard_files = self._shard_file_names(manifest)
         kind = self.config.similarity
         q = self.config.effective_q
@@ -1287,6 +1392,16 @@ class SilkMothCluster:
                 "summary_bits": self._summary_bits,
                 "transport": self._transport_name,
                 "stats": self.stats.to_dict(),
+                **(
+                    {
+                        "wal": {
+                            "dir": str(self._wal_dir),
+                            "positions": wal_positions,
+                        }
+                    }
+                    if self._wal_dir is not None
+                    else {}
+                ),
             },
         )
         self.stats.snapshots_saved += 1
@@ -1305,6 +1420,7 @@ class SilkMothCluster:
         deadline: "float | None" = None,
         backoff: "float | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        wal_dir: "str | Path | None" = None,
     ) -> "SilkMothCluster":
         """Rebuild a cluster from a manifest written by :meth:`save`.
 
@@ -1314,6 +1430,16 @@ class SilkMothCluster:
         validated against *config*; lifetime stats are restored only
         under the same config fingerprint (the write generation always
         is).
+
+        With *wal_dir* (or ``SILKMOTH_WAL_DIR``) each replica first
+        tries to recover from its own write-ahead log instead of being
+        fed the snapshot state over the transport.  The coordinator's
+        manifest stays authoritative: the recovered state is verified
+        against the snapshot and any divergence (a log that ran ahead
+        of the manifest, or got corrupted) is discarded in favour of a
+        plain rebuild, counted in :attr:`wal_revive_fallbacks`.
+        :meth:`save` checkpoints every shard log, so after a clean
+        save/close cycle recovery and snapshot agree by construction.
         """
         manifest = Path(path)
         payload = load_cluster_manifest(manifest)
@@ -1366,6 +1492,8 @@ class SilkMothCluster:
             deadline=deadline,
             backoff=backoff,
             fault_plan=fault_plan,
+            wal_dir=wal_dir,
+            recover_from_wal=resolve_wal_dir(wal_dir) is not None,
         )
         cluster._placement = [
             (int(pair[0]), int(pair[1])) for pair in placement_raw

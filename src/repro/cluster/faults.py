@@ -26,6 +26,18 @@ transport; :meth:`FaultPlan.snapshot_events` hands them to the test
 harness, which applies them with the
 :func:`~repro.io.persistence.truncate_snapshot` /
 :func:`~repro.io.persistence.bitflip_snapshot` helpers.
+
+Crash-point faults live one level *below* the transport: the
+:mod:`repro.io.crash` machinery (re-exported here, because chaos
+harnesses are this module's audience) kills a process at a named
+point *inside* a WAL operation -- between intent and apply, between
+checkpoint and truncate -- which is exactly the window transport
+faults cannot reach.  The crash-sweep suites iterate
+:data:`~repro.io.wal.WAL_CRASH_POINTS` with
+:func:`~repro.io.crash.crash_at` (in-process) or
+``SILKMOTH_CRASH_AT`` (worker processes), and use
+:func:`~repro.io.wal.segment_record_offsets` to simulate torn
+appends at every record boundary.
 """
 
 from __future__ import annotations
@@ -39,6 +51,20 @@ from repro.cluster.transport import (
     ShardTimeoutError,
     ShardTransport,
     ShardTransportError,
+)
+from repro.io.crash import (  # noqa: F401 - chaos-harness re-exports
+    CRASH_ENV_VAR,
+    CrashInjected,
+    CrashPlan,
+    clear_crash_plan,
+    crash_at,
+    crash_point,
+    install_crash_plan,
+    parse_crash_spec,
+)
+from repro.io.wal import (  # noqa: F401 - chaos-harness re-exports
+    WAL_CRASH_POINTS,
+    segment_record_offsets,
 )
 
 #: Fault kinds a plan may schedule, mapped to VDBMS-study bug classes:

@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.cluster.routing import token_hash
 from repro.core.config import SilkMothConfig
 from repro.core.records import SetCollection
+from repro.io.wal import reset_wal_directory
 from repro.obs.autocal import AUTOCAL_SOURCE
 from repro.obs.trace import collect_remote, span
 from repro.planner.cost import MeasuredCosts
@@ -47,6 +48,16 @@ class ShardHost:
     compact_dead_fraction:
         Per-shard auto-compaction threshold, passed through to the
         underlying service.
+    wal_dir:
+        This replica's private write-ahead-log directory (``None``
+        disables durability; the coordinator resolves
+        ``SILKMOTH_WAL_DIR`` and derives one directory per replica).
+    recover:
+        When True, ignore *raw_sets*/*deleted* and rebuild the service
+        from *wal_dir* via :meth:`SilkMothService.recover` (the
+        from-disk revive path).  When False and *wal_dir* is given, any
+        stale log there is cleared first: the replica is being built
+        from authoritative coordinator state and starts a new history.
     """
 
     def __init__(
@@ -55,7 +66,22 @@ class ShardHost:
         raw_sets: Sequence[Sequence[str]] = (),
         deleted: Sequence[int] = (),
         compact_dead_fraction: float = 0.25,
+        wal_dir: "str | None" = None,
+        recover: bool = False,
     ):
+        if recover:
+            if wal_dir is None:
+                raise ValueError("recover=True requires a wal_dir")
+            # cache_capacity=0 here and below: result caching happens
+            # once, at the coordinator, keyed by the cluster-wide
+            # write generation.
+            self.service = SilkMothService.recover(
+                wal_dir,
+                config,
+                cache_capacity=0,
+                compact_dead_fraction=compact_dead_fraction,
+            )
+            return
         collection = SetCollection(
             Tokenizer(kind=config.similarity, q=config.effective_q)
         )
@@ -63,14 +89,23 @@ class ShardHost:
             collection.add_set(elements)
         for local_id in deleted:
             collection.remove_set(local_id)
-        # cache_capacity=0: result caching happens once, at the
-        # coordinator, keyed by the cluster-wide write generation.
+        if wal_dir is not None:
+            reset_wal_directory(wal_dir)
         self.service = SilkMothService(
             config,
             collection,
             cache_capacity=0,
             compact_dead_fraction=compact_dead_fraction,
+            # False (not None): a bare host must never pick up
+            # SILKMOTH_WAL_DIR itself, or every replica would fight
+            # over the same directory -- the coordinator resolves the
+            # env var once and derives one directory per replica.
+            wal_dir=wal_dir if wal_dir is not None else False,
         )
+
+    def close(self) -> None:
+        """Release the service's WAL handle (transport teardown)."""
+        self.service.close()
 
     # ------------------------------------------------------------------
     # Command handlers
@@ -127,6 +162,19 @@ class ShardHost:
     def _cmd_compact(self) -> int:
         """Force a physical compaction; returns postings removed."""
         return self.service.compact()
+
+    def _cmd_checkpoint(self) -> "dict | None":
+        """Checkpoint this shard's WAL; returns the new position.
+
+        ``None`` when the shard runs without a WAL -- the coordinator
+        records exactly that in the cluster manifest.
+        """
+        self.service.checkpoint_wal()
+        return self.service.wal_position()
+
+    def _cmd_wal(self) -> "dict | None":
+        """This shard's current WAL position (``None`` = WAL disabled)."""
+        return self.service.wal_position()
 
     def _cmd_replan(self, backend_seconds: dict) -> str:
         """Re-plan this shard against cluster-measured backend timings.

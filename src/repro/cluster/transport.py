@@ -44,6 +44,7 @@ from typing import Sequence
 
 from repro.cluster.shard import ShardHost
 from repro.core.config import SilkMothConfig
+from repro.io.crash import CrashInjected
 
 #: Environment variable naming the default transport.
 TRANSPORT_ENV_VAR = "SILKMOTH_CLUSTER_TRANSPORT"
@@ -131,9 +132,12 @@ class InlineTransport(ShardTransport):
         raw_sets: Sequence[Sequence[str]] = (),
         deleted: Sequence[int] = (),
         compact_dead_fraction: float = 0.25,
+        wal_dir: "str | None" = None,
+        recover: bool = False,
     ):
         self.host = ShardHost(
-            config, raw_sets, deleted, compact_dead_fraction
+            config, raw_sets, deleted, compact_dead_fraction,
+            wal_dir=wal_dir, recover=recover,
         )
         self._pending: list = []
         self._dead = False
@@ -168,21 +172,36 @@ class InlineTransport(ShardTransport):
         """Mark the in-process shard dead and drop pending replies."""
         self._pending.clear()
         self._dead = True
+        self.host.close()
 
 
 def _worker_loop(conn: Connection) -> None:
     """The worker-side command loop shared by process and socket shards.
 
     Protocol: first message is the ``(config, raw_sets, deleted,
-    compact_dead_fraction)`` construction tuple; afterwards each
-    ``(command, payload)`` message yields one ``(ok, value)`` reply,
-    where a False ``ok`` carries the formatted traceback.  The loop
-    exits on the ``"close"`` command or a closed connection.
+    compact_dead_fraction, wal_dir, recover)`` construction tuple;
+    afterwards each ``(command, payload)`` message yields one
+    ``(ok, value)`` reply, where a False ``ok`` carries the formatted
+    traceback.  The loop exits on the ``"close"`` command or a closed
+    connection.
+
+    A :class:`~repro.io.crash.CrashInjected` (an armed
+    ``SILKMOTH_CRASH_AT`` point inherited through the environment) is
+    *not* mirrored back like an ordinary error: it hard-exits the
+    worker, because the whole point of the crash harness is a genuine
+    process death at that instruction.
     """
-    config, raw_sets, deleted, compact_dead_fraction = conn.recv()
+    config, raw_sets, deleted, compact_dead_fraction, wal_dir, recover = (
+        conn.recv()
+    )
     try:
-        host = ShardHost(config, raw_sets, deleted, compact_dead_fraction)
+        host = ShardHost(
+            config, raw_sets, deleted, compact_dead_fraction,
+            wal_dir=wal_dir, recover=recover,
+        )
         conn.send((True, "ready"))
+    except CrashInjected:  # pragma: no cover - exercised via subprocess
+        os._exit(1)
     except Exception as exc:  # noqa: BLE001 - mirrored to the coordinator
         conn.send((False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
         return
@@ -190,12 +209,16 @@ def _worker_loop(conn: Connection) -> None:
         try:
             command, payload = conn.recv()
         except EOFError:
+            host.close()
             return
         if command == "close":
+            host.close()
             conn.send((True, None))
             return
         try:
             conn.send((True, host.handle(command, payload)))
+        except CrashInjected:  # pragma: no cover - exercised via subprocess
+            os._exit(1)
         except Exception as exc:  # noqa: BLE001 - mirrored to the coordinator
             conn.send(
                 (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
@@ -216,6 +239,8 @@ class _RemoteTransport(ShardTransport):
         raw_sets: Sequence[Sequence[str]],
         deleted: Sequence[int],
         compact_dead_fraction: float,
+        wal_dir: "str | None" = None,
+        recover: bool = False,
     ) -> None:
         """Ship the construction tuple and wait for the ready reply."""
         self._conn.send(
@@ -224,9 +249,19 @@ class _RemoteTransport(ShardTransport):
                 tuple(tuple(elements) for elements in raw_sets),
                 tuple(deleted),
                 compact_dead_fraction,
+                wal_dir,
+                recover,
             )
         )
-        ok, value = self._conn.recv()
+        try:
+            ok, value = self._conn.recv()
+        except EOFError as exc:
+            # A worker that died during construction (e.g. an armed
+            # crash point in its recovery path) closes the pipe without
+            # a reply.
+            raise ShardTransportError(
+                "shard worker died during construction"
+            ) from exc
         if not ok:
             raise ShardTransportError(f"shard worker failed to start: {value}")
 
@@ -310,6 +345,8 @@ class ProcessTransport(_RemoteTransport):
         raw_sets: Sequence[Sequence[str]] = (),
         deleted: Sequence[int] = (),
         compact_dead_fraction: float = 0.25,
+        wal_dir: "str | None" = None,
+        recover: bool = False,
     ):
         super().__init__()
         parent, child = multiprocessing.Pipe()
@@ -319,7 +356,10 @@ class ProcessTransport(_RemoteTransport):
         self._process.start()
         child.close()
         self._conn = parent
-        self._handshake(config, raw_sets, deleted, compact_dead_fraction)
+        self._handshake(
+            config, raw_sets, deleted, compact_dead_fraction,
+            wal_dir, recover,
+        )
 
 
 def _socket_worker(address, authkey: bytes) -> None:
@@ -346,6 +386,8 @@ class SocketTransport(_RemoteTransport):
         raw_sets: Sequence[Sequence[str]] = (),
         deleted: Sequence[int] = (),
         compact_dead_fraction: float = 0.25,
+        wal_dir: "str | None" = None,
+        recover: bool = False,
     ):
         super().__init__()
         authkey = multiprocessing.current_process().authkey
@@ -360,7 +402,10 @@ class SocketTransport(_RemoteTransport):
             self._conn = listener.accept()
         finally:
             listener.close()
-        self._handshake(config, raw_sets, deleted, compact_dead_fraction)
+        self._handshake(
+            config, raw_sets, deleted, compact_dead_fraction,
+            wal_dir, recover,
+        )
 
 
 #: Transport name -> constructor.
@@ -377,8 +422,16 @@ def make_transport(
     raw_sets: Sequence[Sequence[str]] = (),
     deleted: Sequence[int] = (),
     compact_dead_fraction: float = 0.25,
+    wal_dir: "str | None" = None,
+    recover: bool = False,
 ) -> ShardTransport:
-    """Construct one shard behind the named transport."""
+    """Construct one shard behind the named transport.
+
+    *wal_dir* / *recover* pass straight through to
+    :class:`~repro.cluster.shard.ShardHost`: the replica's private
+    write-ahead-log directory, and whether to rebuild from it instead
+    of from *raw_sets*.
+    """
     try:
         factory = _TRANSPORTS[name]
     except KeyError:
@@ -386,4 +439,7 @@ def make_transport(
             f"unknown cluster transport {name!r}; known: "
             f"{', '.join(KNOWN_TRANSPORTS)}"
         ) from None
-    return factory(config, raw_sets, deleted, compact_dead_fraction)
+    return factory(
+        config, raw_sets, deleted, compact_dead_fraction,
+        wal_dir=wal_dir, recover=recover,
+    )

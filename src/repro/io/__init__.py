@@ -1,9 +1,18 @@
-"""File IO: dataset loaders and result writers/readers.
+"""File IO: dataset loaders, result writers/readers, durability.
 
 See :mod:`repro.io.loaders` for the application-specific data-to-sets
-mappings and :mod:`repro.io.writers` for the result interchange format.
+mappings, :mod:`repro.io.writers` for the result interchange format,
+:mod:`repro.io.persistence` for snapshots, and :mod:`repro.io.wal` for
+the write-ahead mutation log (with :mod:`repro.io.crash` supplying the
+named crash points its tests sweep).
 """
 
+from repro.io.crash import (
+    CrashInjected,
+    CrashPlan,
+    crash_at,
+    crash_point,
+)
 from repro.io.loaders import (
     load_csv_columns,
     load_csv_schema,
@@ -12,6 +21,7 @@ from repro.io.loaders import (
     sets_from_iterable,
 )
 from repro.io.persistence import (
+    SnapshotCorruptionError,
     SnapshotError,
     SnapshotFormatError,
     SnapshotVersionError,
@@ -21,6 +31,15 @@ from repro.io.persistence import (
     save_collection,
     save_service_snapshot,
     truncate_snapshot,
+)
+from repro.io.wal import (
+    RecoveryReport,
+    WalCorruptionError,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    read_wal_records,
+    recover_state,
 )
 from repro.io.writers import (
     read_discovery_csv,
@@ -34,10 +53,20 @@ from repro.io.writers import (
 )
 
 __all__ = [
+    "CrashInjected",
+    "CrashPlan",
+    "RecoveryReport",
+    "SnapshotCorruptionError",
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotVersionError",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
     "bitflip_snapshot",
+    "crash_at",
+    "crash_point",
     "truncate_snapshot",
     "load_collection",
     "load_csv_columns",
@@ -49,6 +78,8 @@ __all__ = [
     "read_discovery_json",
     "read_search_csv",
     "read_search_json",
+    "read_wal_records",
+    "recover_state",
     "save_collection",
     "save_service_snapshot",
     "sets_from_iterable",

@@ -58,10 +58,18 @@ placement table, global tombstones and lifetime stats::
 re-applied; shard metadata is ignored); ``load_service_snapshot`` /
 ``load_shard_snapshot`` additionally return the metadata and can
 enforce expected tokenizer settings.
+
+Version-2/3 snapshots and the manifest additionally carry a
+``checksum`` field -- a blake2b-8 digest over the canonical JSON of
+the rest of the document (see :func:`document_checksum`) -- so silent
+byte corruption surfaces as a typed :class:`SnapshotCorruptionError`
+at load time rather than as subtly wrong data.  Documents without the
+field (version 1, or files written by older builds) still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -94,6 +102,12 @@ class SnapshotVersionError(SnapshotError):
     not read (version skew between writer and reader)."""
 
 
+class SnapshotCorruptionError(SnapshotError):
+    """The file parses and has the right shape, but its whole-document
+    checksum does not match: the bytes were silently corrupted after
+    writing (bit rot, a torn sector, a misbehaving copy)."""
+
+
 #: Magic string identifying collection snapshots.
 FORMAT_NAME = "silkmoth-collection"
 #: Plain collection snapshot schema version.
@@ -106,25 +120,109 @@ SHARD_FORMAT_VERSION = 3
 CLUSTER_FORMAT_NAME = "silkmoth-cluster"
 #: Cluster manifest schema version.
 CLUSTER_FORMAT_VERSION = 1
+#: Environment variable gating fsync on durable writes ("0"/"false"/
+#: "no"/"off" disable it; anything else, or unset, leaves it on).
+FSYNC_ENV_VAR = "SILKMOTH_FSYNC"
 
 
-def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+def resolve_fsync(fsync: "bool | None" = None) -> bool:
+    """Resolve the fsync policy: explicit argument, else ``SILKMOTH_FSYNC``.
+
+    Defaults to **on**: atomic rename alone survives a process crash
+    but not a power cut (the rename can reach disk before the data).
+    Tests and throwaway runs can switch it off for speed.
+    """
+    if fsync is not None:
+        return bool(fsync)
+    raw = os.environ.get(FSYNC_ENV_VAR)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported).
+
+    Needed after ``os.replace``/``open(..., "x")``: the *data* being on
+    disk does not imply the *name* is -- the directory block holding
+    the entry must be flushed too.  Some filesystems refuse fsync on
+    directory descriptors; those errors are swallowed because there is
+    nothing more a portable caller can do.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, fsync: "bool | None" = None
+) -> None:
     """Write *text* to *path* atomically (temp file + ``os.replace``).
 
     A crash mid-write (OOM, SIGKILL, full disk) must never destroy an
     existing good file or leave a truncated one: the bytes land in a
     sibling temp file first and the rename is atomic on POSIX.  Shared
     by snapshot writes and cost-profile exports.
+
+    Unless fsync is disabled (*fsync* argument, else ``SILKMOTH_FSYNC``,
+    see :func:`resolve_fsync`) the temp file is fsynced before the
+    rename and the parent directory after it, closing the power-cut
+    hole where the rename reaches disk before the data and a reboot
+    reveals an empty or partial file under the final name.
     """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    do_fsync = resolve_fsync(fsync)
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if do_fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if do_fsync:
+            fsync_directory(path.parent)
     finally:
         if tmp.exists():
             tmp.unlink()
+
+
+def document_checksum(payload: dict) -> str:
+    """Whole-document checksum over a snapshot payload (blake2b-8 hex).
+
+    Computed over the canonical JSON form (sorted keys, no whitespace)
+    of every field except ``checksum`` itself, so the stored digest is
+    independent of serialisation details and key order.
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def _verify_checksum(path: str | Path, payload: dict) -> None:
+    """Raise :class:`SnapshotCorruptionError` on a checksum mismatch.
+
+    Documents without a ``checksum`` field pass (pre-checksum snapshots
+    stay loadable); a present-but-mistyped field is a format error.
+    """
+    stored = payload.get("checksum")
+    if stored is None:
+        return
+    if not isinstance(stored, str):
+        raise SnapshotFormatError(f"{path}: 'checksum' must be a string")
+    actual = document_checksum(payload)
+    if actual != stored:
+        raise SnapshotCorruptionError(
+            f"{path}: checksum mismatch (stored {stored}, computed "
+            f"{actual}): the file was corrupted after it was written"
+        )
 
 
 def _write_payload(path: str | Path, payload: dict) -> None:
@@ -171,6 +269,7 @@ def save_service_snapshot(
         "deleted": sorted(collection.deleted_ids),
         "service": metadata if metadata is not None else {},
     }
+    payload["checksum"] = document_checksum(payload)
     _write_payload(path, payload)
 
 
@@ -199,6 +298,7 @@ def _read_payload(path: str | Path) -> dict:
             f"(this build reads versions {FORMAT_VERSION}, "
             f"{SERVICE_FORMAT_VERSION} and {SHARD_FORMAT_VERSION})"
         )
+    _verify_checksum(path, payload)
     return payload
 
 
@@ -306,6 +406,7 @@ def save_shard_snapshot(
         "service": {},
         "shard": shard_meta,
     }
+    payload["checksum"] = document_checksum(payload)
     _write_payload(path, payload)
 
 
@@ -353,6 +454,7 @@ def save_cluster_manifest(
         "shards": [str(name) for name in shard_files],
         "cluster": metadata,
     }
+    payload["checksum"] = document_checksum(payload)
     _write_payload(path, payload)
 
 
@@ -404,6 +506,7 @@ def load_cluster_manifest(path: str | Path) -> dict:
         raise SnapshotFormatError(f"{path}: 'shards' must be a list of file names")
     if not isinstance(payload.get("cluster", {}), dict):
         raise SnapshotFormatError(f"{path}: 'cluster' metadata must be an object")
+    _verify_checksum(path, payload)
     return payload
 
 

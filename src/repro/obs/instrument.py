@@ -151,6 +151,37 @@ class _Handles:
             "Cost profiles derived by the auto-calibration sampler.",
             "counter",
         )
+        self.wal_appends = registry.register(
+            "silkmoth_wal_appends_total",
+            "Write-ahead-log records appended, by mutation op.",
+            "counter",
+            ("op",),
+        )
+        self.wal_bytes = registry.register(
+            "silkmoth_wal_bytes_total",
+            "Bytes appended to the write-ahead log.",
+            "counter",
+        )
+        self.wal_checkpoints = registry.register(
+            "silkmoth_wal_checkpoints_total",
+            "WAL checkpoints taken (snapshot + log truncation).",
+            "counter",
+        )
+        self.wal_recoveries = registry.register(
+            "silkmoth_wal_recoveries_total",
+            "Services rebuilt from a checkpoint plus log replay.",
+            "counter",
+        )
+        self.wal_replayed = registry.register(
+            "silkmoth_wal_replayed_records_total",
+            "Log records re-applied during WAL recoveries.",
+            "counter",
+        )
+        self.wal_torn_tails = registry.register(
+            "silkmoth_wal_torn_tails_total",
+            "Recoveries that dropped one torn trailing record.",
+            "counter",
+        )
 
 
 _handles: Optional[_Handles] = None
@@ -238,3 +269,25 @@ def observe_degraded() -> None:
 def observe_autocal_export() -> None:
     """Record one auto-calibration profile derivation."""
     handles().autocal_exports.inc()
+
+
+def observe_wal_append(op: str, nbytes: int) -> None:
+    """Record one WAL record append and its on-disk size."""
+    h = handles()
+    h.wal_appends.inc(op=op)
+    h.wal_bytes.inc(nbytes)
+
+
+def observe_wal_checkpoint() -> None:
+    """Record one WAL checkpoint (snapshot + truncation)."""
+    handles().wal_checkpoints.inc()
+
+
+def observe_wal_recovery(replayed: int, torn_tail: bool) -> None:
+    """Record one completed WAL recovery and its replay size."""
+    h = handles()
+    h.wal_recoveries.inc()
+    if replayed:
+        h.wal_replayed.inc(replayed)
+    if torn_tail:
+        h.wal_torn_tails.inc()

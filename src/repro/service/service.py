@@ -17,6 +17,12 @@ engine resident and adds what online serving needs:
 * **snapshots** -- :meth:`save` / :meth:`load` round-trip the live-set
   membership and service metadata through the version-2 snapshot
   format;
+* **durability** -- opt-in write-ahead logging (``wal_dir=`` /
+  ``SILKMOTH_WAL_DIR``): every mutation is appended to a
+  :class:`repro.io.wal.WriteAheadLog` *before* it is applied, and
+  :meth:`recover` rebuilds a crashed service from the last checkpoint
+  plus the log tail (see :mod:`repro.io.wal` for the format and the
+  torn-tail rule);
 * **observability** -- :attr:`stats` counts queries, hit rate,
   mutations, compactions and per-query latency.
 
@@ -27,6 +33,8 @@ logically live sets.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from pathlib import Path
 from typing import Sequence
@@ -35,8 +43,17 @@ from repro.core.config import SilkMothConfig
 from repro.core.engine import SearchResult, SilkMoth
 from repro.core.records import SetCollection, SetRecord
 from repro.io.persistence import load_service_snapshot, save_service_snapshot
+from repro.io.wal import (
+    RecoveryReport,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    recover_state,
+    resolve_wal_dir,
+    wal_directory_in_use,
+)
 from repro.obs.autocal import AutoCalibrator
-from repro.obs.instrument import observe_mutation
+from repro.obs.instrument import observe_mutation, observe_wal_recovery
 from repro.obs.trace import span
 from repro.service.batch import parallel_cold_search, plan_batch
 from repro.service.cache import (
@@ -77,6 +94,15 @@ class SilkMothService:
     autocal_export_path:
         Optional file each auto-calibration sample also (atomically)
         writes a ``SILKMOTH_COST_PROFILE``-compatible profile to.
+    wal_dir:
+        Directory for the write-ahead log (``None`` reads
+        ``SILKMOTH_WAL_DIR``; unset disables durability; ``False``
+        disables it explicitly, ignoring the environment).  Must be
+        empty or brand new -- adopting an existing log is
+        :meth:`recover`'s job.
+    wal_fsync / wal_segment_bytes:
+        WAL fsync policy and segment rotation threshold (``None``
+        reads ``SILKMOTH_FSYNC`` / ``SILKMOTH_WAL_SEGMENT_BYTES``).
     """
 
     def __init__(
@@ -88,6 +114,9 @@ class SilkMothService:
         compact_dead_fraction: float = 0.25,
         autocal_interval: int | None = None,
         autocal_export_path: str | Path | None = None,
+        wal_dir: str | Path | bool | None = None,
+        wal_fsync: bool | None = None,
+        wal_segment_bytes: int | None = None,
     ):
         if not 0.0 < compact_dead_fraction <= 1.0:
             raise ValueError(
@@ -110,6 +139,16 @@ class SilkMothService:
         #: Live-set count the current planner decision was computed at;
         #: growth past REPLAN_GROWTH_FACTOR of it triggers a re-plan.
         self._planned_live_sets = collection.live_count
+        #: The attached write-ahead log (None = durability disabled).
+        self.wal: WriteAheadLog | None = None
+        #: What :meth:`recover` found, for the service it rebuilt.
+        self.wal_recovery: RecoveryReport | None = None
+        self._wal_replaying = False
+        wal_dir = resolve_wal_dir(wal_dir)
+        if wal_dir is not None:
+            self._attach_wal(
+                wal_dir, wal_fsync, wal_segment_bytes, fresh=True
+            )
 
     # -- convenience views ----------------------------------------------
     @property
@@ -136,6 +175,17 @@ class SilkMothService:
         return self.collection.live_count
 
     # -- mutations ------------------------------------------------------
+    def _wal_append(self, op: str, args: dict) -> None:
+        """Log one mutation before applying it (write-ahead discipline).
+
+        The record's seq is the generation the service will be at once
+        the mutation lands, so replay after a crash knows exactly which
+        records the last checkpoint already covers.  No-op while
+        replaying (the records being applied are already on disk).
+        """
+        if self.wal is not None and not self._wal_replaying:
+            self.wal.append(op, args, seq=self.generation + 1)
+
     def _mutated(self) -> None:
         self.generation += 1
         if len(self.cache):
@@ -166,6 +216,8 @@ class SilkMothService:
 
     def add_set(self, elements: Sequence[str]) -> SetRecord:
         """Append one set; it is searchable immediately."""
+        elements = [str(element) for element in elements]
+        self._wal_append("add", {"elements": elements})
         record = self.engine.add_set(elements)
         self.stats.adds += 1
         observe_mutation("add")
@@ -175,6 +227,10 @@ class SilkMothService:
 
     def remove_set(self, set_id: int) -> SetRecord:
         """Tombstone one set; it stops matching immediately."""
+        if self.collection.is_live(set_id):
+            # Only log applicable mutations: an invalid id raises below
+            # without touching state, and must not pollute the log.
+            self._wal_append("remove", {"set_id": int(set_id)})
         record = self.collection.remove_set(set_id)
         self.index.note_removed(record)
         self.stats.removes += 1
@@ -189,6 +245,11 @@ class SilkMothService:
         Implemented as tombstone + append so posting lists stay
         append-only; the old id is never reused.
         """
+        elements = [str(element) for element in elements]
+        if self.collection.is_live(set_id):
+            self._wal_append(
+                "update", {"set_id": int(set_id), "elements": elements}
+            )
         old, record = self.collection.replace_set(set_id, elements)
         self.index.note_removed(old)
         self.index.add_record(record)
@@ -228,6 +289,10 @@ class SilkMothService:
                 # Compaction physically drops tombstoned sets' postings;
                 # drop their cached pair values with them.
                 self.engine.memo.clear()
+        # Compaction is also the WAL's natural truncation point: the
+        # state just got summarised, so snapshot it and drop the log.
+        if not self._wal_replaying:
+            self.checkpoint_wal()
         return removed
 
     # -- planning -------------------------------------------------------
@@ -363,16 +428,35 @@ class SilkMothService:
         return output
 
     # -- snapshots ------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Write a version-2 service snapshot (sets + tombstones + meta)."""
-        metadata = {
+    def _snapshot_metadata(self) -> dict:
+        """The service metadata every snapshot/checkpoint carries."""
+        return {
             "generation": self.generation,
             "config_fingerprint": self._config_fp,
             "stats": self.stats.to_dict(),
             "planner": self.engine.decision.to_dict(),
         }
-        save_service_snapshot(path, self.collection, metadata)
+
+    def _restore_metadata(self, metadata: dict) -> None:
+        """Adopt a snapshot's generation and (fingerprint-gated) stats."""
+        self.generation = int(metadata.get("generation", 0))
+        saved_stats = metadata.get("stats")
+        saved_fp = metadata.get("config_fingerprint")
+        if isinstance(saved_stats, dict) and saved_fp == self._config_fp:
+            # Only adopt lifetime counters recorded under the *same*
+            # config: a different delta/metric/scheme would silently mix
+            # unrelated traffic into hit rates and latency means.
+            self.stats = ServiceStats.from_dict(saved_stats)
+
+    def save(self, path: str | Path) -> None:
+        """Write a version-2 service snapshot (sets + tombstones + meta).
+
+        With a WAL attached, saving is also a checkpoint: the log is
+        truncated because the snapshot now carries everything it held.
+        """
+        save_service_snapshot(path, self.collection, self._snapshot_metadata())
         self.stats.snapshots_saved += 1
+        self.checkpoint_wal()
 
     @classmethod
     def load(
@@ -382,6 +466,9 @@ class SilkMothService:
         *,
         cache_capacity: int = 1024,
         compact_dead_fraction: float = 0.25,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool | None = None,
+        wal_segment_bytes: int | None = None,
     ) -> "SilkMothService":
         """Rebuild a service from a snapshot written by :meth:`save`.
 
@@ -389,7 +476,10 @@ class SilkMothService:
         cannot silently serve under the wrong similarity function.
         Lifetime counters are restored only when the snapshot was
         written under the same config fingerprint; otherwise they start
-        fresh (the write generation is restored either way).
+        fresh (the write generation is restored either way).  A
+        *wal_dir* (or ``SILKMOTH_WAL_DIR``) attaches a **fresh** WAL to
+        the loaded service; use :meth:`recover` to resume an existing
+        log instead.
         """
         collection, metadata = load_service_snapshot(
             path,
@@ -402,12 +492,154 @@ class SilkMothService:
             cache_capacity=cache_capacity,
             compact_dead_fraction=compact_dead_fraction,
         )
-        service.generation = int(metadata.get("generation", 0))
-        saved_stats = metadata.get("stats")
-        saved_fp = metadata.get("config_fingerprint")
-        if isinstance(saved_stats, dict) and saved_fp == service._config_fp:
-            # Only adopt lifetime counters recorded under the *same*
-            # config: a different delta/metric/scheme would silently mix
-            # unrelated traffic into hit rates and latency means.
-            service.stats = ServiceStats.from_dict(saved_stats)
+        service._restore_metadata(metadata)
+        wal_dir = resolve_wal_dir(wal_dir)
+        if wal_dir is not None:
+            # Attach only after the generation is restored, so the base
+            # checkpoint and subsequent record seqs line up.
+            service._attach_wal(
+                wal_dir, wal_fsync, wal_segment_bytes, fresh=True
+            )
+        return service
+
+    # -- durability -----------------------------------------------------
+    def _attach_wal(
+        self,
+        wal_dir: str | Path,
+        fsync: bool | None,
+        segment_bytes: int | None,
+        *,
+        fresh: bool,
+    ) -> None:
+        """Open the WAL; *fresh* demands an unused directory.
+
+        A fresh attach writes the base-state checkpoint immediately, so
+        a WAL directory is always self-contained: recovery never needs
+        state from anywhere else.
+        """
+        if fresh and wal_directory_in_use(wal_dir):
+            raise WalError(
+                f"{wal_dir}: WAL directory already holds a log; use "
+                f"SilkMothService.recover() to resume it (or clear it)"
+            )
+        self.wal = WriteAheadLog(
+            wal_dir, segment_bytes=segment_bytes, fsync=fsync
+        )
+        if fresh:
+            self.checkpoint_wal()
+
+    def checkpoint_wal(self) -> None:
+        """Checkpoint the WAL now: snapshot the state, truncate the log.
+
+        No-op without a WAL.  Called automatically by :meth:`compact`,
+        :meth:`save`, and at the end of :meth:`recover`.
+        """
+        if self.wal is None:
+            return
+        self.wal.checkpoint(
+            lambda path: save_service_snapshot(
+                path, self.collection, self._snapshot_metadata()
+            )
+        )
+
+    def wal_position(self) -> dict | None:
+        """The WAL's current position, or ``None`` when disabled."""
+        return None if self.wal is None else self.wal.position()
+
+    def close(self) -> None:
+        """Release the WAL file handle (no-op without a WAL)."""
+        if self.wal is not None:
+            self.wal.close()
+
+    def state_fingerprint(self) -> str:
+        """Digest of the logical state: sets, tombstones, generation.
+
+        Two services with equal fingerprints hold bit-identical served
+        state -- the crash sweep's "pre- or post-mutation oracle, never
+        a third state" assertions compare exactly this.
+        """
+        body = {
+            "sets": [
+                [element.text for element in record.elements]
+                for record in self.collection
+            ],
+            "deleted": sorted(self.collection.deleted_ids),
+            "generation": self.generation,
+        }
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def _apply_wal_record(self, record: WalRecord) -> None:
+        """Re-apply one logged mutation during replay."""
+        if record.op == "add":
+            self.add_set(record.args["elements"])
+        elif record.op == "remove":
+            self.remove_set(record.args["set_id"])
+        elif record.op == "update":
+            self.update_set(record.args["set_id"], record.args["elements"])
+        else:  # pragma: no cover - decode_record validates ops
+            raise WalError(f"unknown WAL op {record.op!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: str | Path,
+        config: SilkMothConfig,
+        *,
+        cache_capacity: int = 1024,
+        compact_dead_fraction: float = 0.25,
+        autocal_interval: int | None = None,
+        autocal_export_path: str | Path | None = None,
+        wal_fsync: bool | None = None,
+        wal_segment_bytes: int | None = None,
+        checkpoint: bool = True,
+    ) -> "SilkMothService":
+        """Rebuild a service from its WAL directory after a crash.
+
+        Loads the checkpoint snapshot, replays every log record beyond
+        the checkpoint's generation through the normal mutation
+        methods (records at or below it are skipped -- that is what
+        makes recovering twice a no-op), tolerates one torn trailing
+        record, then re-attaches the log and (by default) checkpoints
+        so the recovered state is durable in one file again.  The
+        outcome is summarised in :attr:`wal_recovery`.
+        """
+        with span("wal.recover", dir=str(wal_dir)) as recover_span:
+            collection, metadata, replay, report = recover_state(
+                wal_dir,
+                expected_kind=config.similarity,
+                expected_q=config.effective_q,
+            )
+            service = cls(
+                config,
+                collection,
+                cache_capacity=cache_capacity,
+                compact_dead_fraction=compact_dead_fraction,
+                autocal_interval=autocal_interval,
+                autocal_export_path=autocal_export_path,
+            )
+            service._restore_metadata(metadata)
+            service._wal_replaying = True
+            try:
+                for record in replay:
+                    service._apply_wal_record(record)
+            finally:
+                service._wal_replaying = False
+            expected = report.checkpoint_generation + report.replayed
+            if service.generation != expected:  # pragma: no cover - invariant
+                raise WalError(
+                    f"{wal_dir}: replay ended at generation "
+                    f"{service.generation}, expected {expected}"
+                )
+            service._attach_wal(
+                wal_dir, wal_fsync, wal_segment_bytes, fresh=False
+            )
+            if checkpoint:
+                service.checkpoint_wal()
+            service.wal_recovery = report
+            recover_span.set_attr("replayed", report.replayed)
+            recover_span.set_attr("torn_tail", report.torn_tail is not None)
+        observe_wal_recovery(report.replayed, report.torn_tail is not None)
         return service

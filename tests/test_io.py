@@ -377,3 +377,234 @@ class TestSnapshotFaults:
         )
         with pytest.raises(SnapshotFormatError):
             load_collection(path)
+
+
+class TestDurableWrites:
+    """The atomic-write primitive under failure: no torn destinations.
+
+    ``atomic_write_text`` is the single funnel every snapshot, manifest
+    and export goes through, so its guarantees -- an existing good file
+    is never destroyed, a failed write leaves no temp litter, fsync
+    policy resolves predictably -- are what every other durability
+    claim in the repo rests on.
+    """
+
+    def test_resolve_fsync_argument_beats_environment(self, monkeypatch):
+        from repro.io.persistence import resolve_fsync
+
+        monkeypatch.setenv("SILKMOTH_FSYNC", "0")
+        assert resolve_fsync(True) is True
+        monkeypatch.setenv("SILKMOTH_FSYNC", "1")
+        assert resolve_fsync(False) is False
+
+    def test_resolve_fsync_defaults_on(self, monkeypatch):
+        from repro.io.persistence import resolve_fsync
+
+        monkeypatch.delenv("SILKMOTH_FSYNC", raising=False)
+        assert resolve_fsync() is True
+        # Unrecognised values keep the safe default too.
+        monkeypatch.setenv("SILKMOTH_FSYNC", "definitely")
+        assert resolve_fsync() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", "", " No "])
+    def test_resolve_fsync_off_switches(self, monkeypatch, value):
+        from repro.io.persistence import resolve_fsync
+
+        monkeypatch.setenv("SILKMOTH_FSYNC", value)
+        assert resolve_fsync() is False
+
+    def test_write_leaves_no_temp_file(self, tmp_path):
+        from repro.io.persistence import atomic_write_text
+
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "payload", fsync=False)
+        assert path.read_text() == "payload"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_replace_preserves_the_old_file(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        from repro.io.persistence import atomic_write_text
+
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "good", fsync=False)
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("disk pulled")
+
+        monkeypatch.setattr(os_module, "replace", refuse)
+        with pytest.raises(OSError, match="disk pulled"):
+            atomic_write_text(path, "half-written", fsync=False)
+        monkeypatch.undo()
+        # The crash window hit between temp write and rename: the old
+        # bytes survive intact and the temp file was cleaned up.
+        assert path.read_text() == "good"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_fsync_preserves_the_old_file(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        from repro.io.persistence import atomic_write_text
+
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "good", fsync=False)
+
+        def refuse(_fd):
+            raise OSError("fsync refused")
+
+        monkeypatch.setattr(os_module, "fsync", refuse)
+        with pytest.raises(OSError, match="fsync refused"):
+            atomic_write_text(path, "unsynced", fsync=True)
+        monkeypatch.undo()
+        # fsync failed *before* the rename, so the data that could not
+        # be made durable never took the destination's name.
+        assert path.read_text() == "good"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_fsync_directory_survives_unopenable_paths(self, tmp_path):
+        from repro.io.persistence import fsync_directory
+
+        # Best-effort by contract: a missing directory is a no-op, not
+        # an error (some filesystems refuse directory descriptors).
+        fsync_directory(tmp_path / "nowhere")
+
+
+class TestDocumentChecksums:
+    """Whole-document checksums: silent corruption becomes a typed error.
+
+    Versions 2 (service) and 3 (shard) snapshots and the cluster
+    manifest embed a blake2b-8 digest of their own canonical JSON.  A
+    file that still *parses* after bit rot -- the case structural
+    validation cannot catch -- must fail with
+    :class:`SnapshotCorruptionError`, while checksum-less documents
+    from older writers keep loading.
+    """
+
+    def _corrupt_text_field(self, path, old, new):
+        """Flip payload content while keeping the JSON well-formed."""
+        text = path.read_text()
+        assert old in text
+        path.write_text(text.replace(old, new, 1))
+
+    def test_service_snapshot_corruption_is_detected(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_service_snapshot
+        from repro.io.persistence import (
+            SnapshotCorruptionError,
+            save_service_snapshot,
+        )
+
+        path = tmp_path / "service.json"
+        collection = SetCollection.from_strings([["alpha beta", "gamma"]])
+        save_service_snapshot(path, collection, {"generation": 7})
+        self._corrupt_text_field(path, "alpha beta", "alpha rot")
+        with pytest.raises(SnapshotCorruptionError, match="checksum mismatch"):
+            load_service_snapshot(path)
+
+    def test_metadata_corruption_is_detected(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_service_snapshot
+        from repro.io.persistence import (
+            SnapshotCorruptionError,
+            save_service_snapshot,
+        )
+
+        path = tmp_path / "service.json"
+        save_service_snapshot(
+            path,
+            SetCollection.from_strings([["alpha"]]),
+            {"generation": 7},
+        )
+        # Content corruption outside the sets -- a flipped counter in
+        # the metadata -- is just as detectable.
+        self._corrupt_text_field(path, '"generation": 7', '"generation": 8')
+        with pytest.raises(SnapshotCorruptionError):
+            load_service_snapshot(path)
+
+    def test_shard_snapshot_corruption_is_detected(self, tmp_path):
+        from repro.io.persistence import (
+            SnapshotCorruptionError,
+            load_shard_snapshot,
+            save_shard_snapshot,
+        )
+        from repro.sim.functions import SimilarityKind
+
+        path = tmp_path / "shard.json"
+        save_shard_snapshot(
+            path,
+            SimilarityKind.JACCARD,
+            1,
+            [["alpha beta"], ["gamma"]],
+            [],
+            {"shard": 0, "global_ids": [0, 1]},
+        )
+        self._corrupt_text_field(path, '"global_ids": [0, 1]', '"global_ids": [0, 2]')
+        with pytest.raises(SnapshotCorruptionError):
+            load_shard_snapshot(path)
+
+    def test_cluster_manifest_corruption_is_detected(self, tmp_path):
+        from repro.io.persistence import (
+            SnapshotCorruptionError,
+            load_cluster_manifest,
+            save_cluster_manifest,
+        )
+        from repro.sim.functions import SimilarityKind
+
+        path = tmp_path / "cluster.json"
+        save_cluster_manifest(
+            path,
+            SimilarityKind.JACCARD,
+            1,
+            ["shard-0.json"],
+            {"generation": 3},
+        )
+        self._corrupt_text_field(path, "shard-0.json", "shard-9.json")
+        with pytest.raises(SnapshotCorruptionError):
+            load_cluster_manifest(path)
+
+    def test_mistyped_checksum_is_a_format_error(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import SnapshotFormatError, load_service_snapshot
+        from repro.io.persistence import save_service_snapshot
+
+        path = tmp_path / "service.json"
+        save_service_snapshot(path, SetCollection.from_strings([["a"]]), {})
+        payload = json.loads(path.read_text())
+        payload["checksum"] = 12345
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            load_service_snapshot(path)
+
+    def test_checksumless_legacy_snapshot_still_loads(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_service_snapshot
+        from repro.io.persistence import save_service_snapshot
+
+        path = tmp_path / "legacy.json"
+        save_service_snapshot(
+            path, SetCollection.from_strings([["alpha", "beta gamma"]]), {}
+        )
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        collection, _ = load_service_snapshot(path)
+        assert len(collection) == 1
+
+    def test_checksum_ignores_key_order(self):
+        from repro.io.persistence import document_checksum
+
+        forward = {"a": 1, "b": [2, 3], "checksum": "ignored"}
+        backward = {"b": [2, 3], "a": 1}
+        assert document_checksum(forward) == document_checksum(backward)
+
+    def test_version_one_snapshots_carry_no_checksum(self, tmp_path):
+        from repro.core.records import SetCollection
+        from repro.io import load_collection, save_collection
+
+        path = tmp_path / "v1.json"
+        save_collection(path, SetCollection.from_strings([["a b"]]))
+        # The v1 writer predates checksums and stays byte-compatible.
+        assert "checksum" not in json.loads(path.read_text())
+        assert len(load_collection(path)) == 1
