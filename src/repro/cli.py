@@ -24,6 +24,13 @@ works on real files without writing any Python:
   summarise a write-ahead-log directory (checkpoint header, segments,
   torn tail) or replay it into a recovered service, optionally
   snapshotting the result with ``--output``.
+* ``silkmoth trace out.jsonl [--top N]`` renders an exported span
+  trace as a flame tree, or aggregates span self-time into a hotspot
+  table with ``--top``.
+* ``silkmoth slowlog slow.jsonl`` views captured slow queries with
+  their full plan provenance; ``silkmoth health target.json`` rolls
+  latency sketches, cache hit rates, WAL and replica state into one
+  JSON/human summary for a snapshot or cluster manifest.
 
 Input formats (``--format``):
 
@@ -731,14 +738,110 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """``silkmoth trace``: render an exported JSONL trace as a flame tree."""
-    from repro.obs import format_flame, load_jsonl
+    """``silkmoth trace``: render an exported JSONL trace as a flame tree.
+
+    With ``--top N`` the command instead aggregates span *self-time*
+    across the whole file and prints the N hottest span names -- the
+    "where does the time go" view over any number of traces.
+    """
+    from repro.obs import format_flame, format_hotspots, load_jsonl
 
     spans = load_jsonl(args.trace_file)
     if not spans:
         print("no spans in trace file", file=sys.stderr)
         return 1
-    print(format_flame(spans))
+    if args.top is not None:
+        print(format_hotspots(spans, args.top))
+    else:
+        print(format_flame(spans))
+    return 0
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    """``silkmoth slowlog``: view a JSONL slow-query export.
+
+    Entries print slowest first with their planner decision, funnel
+    counters and per-stage seconds; ``--top N`` truncates, ``--json``
+    dumps the raw entries for machine diffing.
+    """
+    import json
+
+    from repro.obs import format_slowlog, load_slowlog_jsonl
+
+    entries = load_slowlog_jsonl(args.slowlog_file)
+    if not entries:
+        print("no slow queries captured", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(entries, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(format_slowlog(entries, top=args.top))
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """``silkmoth health``: one rollup for a snapshot or cluster manifest.
+
+    Sniffs the target file: a ``silkmoth-cluster`` manifest loads as a
+    cluster (latency sketches merged across every shard), anything else
+    as a single-node service.  ``--references FILE`` serves that batch
+    first so the latency/cache sections describe real traffic; the
+    tokenizer settings come from the target file itself.
+    """
+    import json
+
+    from repro.obs import format_health
+
+    with open(args.target, encoding="utf-8") as handle:
+        try:
+            peek = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{args.target}: not a JSON snapshot or manifest: {exc}"
+            ) from exc
+    references = None
+    if args.references:
+        references, _ = load_sets(args.references, args.format)
+    is_cluster = (
+        isinstance(peek, dict) and peek.get("format") == "silkmoth-cluster"
+    )
+    if is_cluster:
+        from repro.cluster import SilkMothCluster
+
+        kind = SimilarityKind(peek["similarity"])
+        config = SilkMothConfig(
+            similarity=kind,
+            q=int(peek["q"]) if kind.is_edit_based else None,
+        )
+        with SilkMothCluster.load(
+            args.target, config, transport=args.transport
+        ) as cluster:
+            if references:
+                cluster.search_many(references)
+            payload = cluster.health()
+    else:
+        from repro.io.persistence import load_service_snapshot
+        from repro.service import SilkMothService
+
+        collection, _ = load_service_snapshot(args.target)
+        kind = collection.tokenizer.kind
+        config = SilkMothConfig(
+            similarity=kind,
+            q=collection.tokenizer.q if kind.is_edit_based else None,
+        )
+        service = SilkMothService.load(args.target, config)
+        try:
+            if references:
+                service.search_many(references)
+            payload = service.health()
+        finally:
+            service.close()
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(format_health(payload))
     return 0
 
 
@@ -838,7 +941,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarise an exported JSONL trace as a text flame tree",
     )
     trace.add_argument("trace_file", help="JSONL trace (SILKMOTH_TRACE_EXPORT)")
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help=(
+            "print the N hottest span names by aggregated self-time "
+            "instead of the flame tree"
+        ),
+    )
     trace.set_defaults(func=cmd_trace)
+
+    slowlog = sub.add_parser(
+        "slowlog",
+        help="view a JSONL slow-query export (SILKMOTH_SLOWLOG_EXPORT)",
+    )
+    slowlog.add_argument(
+        "slowlog_file", help="JSONL slowlog (SILKMOTH_SLOWLOG_EXPORT)"
+    )
+    slowlog.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="show only the N slowest entries",
+    )
+    slowlog.add_argument(
+        "--json", action="store_true", help="dump the raw entries as JSON"
+    )
+    slowlog.set_defaults(func=cmd_slowlog)
+
+    health = sub.add_parser(
+        "health",
+        help="roll sketches, caches, WAL and replica state into one view",
+    )
+    health.add_argument(
+        "target", help="service snapshot or cluster manifest file"
+    )
+    health.add_argument(
+        "--references",
+        default=None,
+        help="serve this reference file first so the rollup reflects traffic",
+    )
+    health.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="how to map the references file to sets (default: text)",
+    )
+    health.add_argument(
+        "--transport",
+        choices=("inline", "process", "socket"),
+        default=None,
+        help=(
+            "cluster shard transport (default: "
+            "SILKMOTH_CLUSTER_TRANSPORT, then inline)"
+        ),
+    )
+    health.add_argument(
+        "--json", action="store_true", help="emit the rollup as JSON"
+    )
+    health.set_defaults(func=cmd_health)
 
     service = sub.add_parser(
         "service",
@@ -1085,6 +1247,28 @@ def _flush_trace() -> None:
             print(f"warning: trace export failed: {exc}", file=sys.stderr)
 
 
+def _flush_slowlog() -> None:
+    """Export captured slow queries to ``SILKMOTH_SLOWLOG_EXPORT``.
+
+    Runs after every command (success or error), mirroring
+    :func:`_flush_trace`: when an export path is configured and capture
+    is enabled, the ring is drained by *appending* to the JSONL file --
+    created even when empty, so CI artifact steps always find it, and
+    appended so a pipeline of commands accumulates entries -- viewable
+    with ``silkmoth slowlog``.
+    """
+    from repro.obs.diag import get_slowlog, slowlog_export_path, slowlog_ms
+
+    if slowlog_ms() < 0:
+        return
+    path = slowlog_export_path()
+    if path:
+        try:
+            get_slowlog().append_jsonl(path)
+        except OSError as exc:
+            print(f"warning: slowlog export failed: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -1096,6 +1280,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     finally:
         _flush_trace()
+        _flush_slowlog()
 
 
 if __name__ == "__main__":

@@ -68,6 +68,8 @@ from repro.io.persistence import (
 )
 from repro.io.wal import resolve_wal_dir, wal_directory_in_use
 from repro.obs.autocal import AutoCalibrator
+from repro.obs.diag import get_slowlog, observe_slow_cluster_query, slowlog_ms
+from repro.obs.sketch import get_sketch_registry, merge_payloads, quantile_summary
 from repro.obs.instrument import (
     observe_degraded,
     observe_failover,
@@ -1051,6 +1053,8 @@ class SilkMothCluster:
             self.stats.record_routing(cluster_pass)
             self.last_pass = cluster_pass
             return [], cluster_pass
+        started = time.perf_counter()
+        failovers_before = self.stats.failovers
         with span("cluster.query", shards=self.n_shards) as query_span:
             if self._certificate:
                 with span("cluster.route"):
@@ -1096,6 +1100,12 @@ class SilkMothCluster:
             self.stats.record_pass(pass_stats)
         self.run_stats.add(cluster_pass.merged)
         self.last_pass = cluster_pass
+        observe_slow_cluster_query(
+            time.perf_counter() - started,
+            cluster_pass,
+            failovers=self.stats.failovers - failovers_before,
+            lost_shards=self.lost_shards(),
+        )
         self._autocalibrate()
         return merged_results, cluster_pass
 
@@ -1265,6 +1275,77 @@ class SilkMothCluster:
             else {"lost": True, "shard_index": k, "live_sets": 0}
             for k, reply in zip(shards, replies)
         ]
+
+    def merged_sketches(self):
+        """Cluster-wide quantile sketches: coordinator plus every shard.
+
+        Fans the ``sketches`` command out to every shard (best-effort:
+        lost shards are skipped) and folds the replies together with the
+        coordinator's own process-global registry through
+        :func:`repro.obs.sketch.merge_payloads`.  Payloads are
+        deduplicated by producing pid, so under the inline transport --
+        where every shard shares this process's registry -- recordings
+        are counted exactly once, and the merged result equals what one
+        process recording everything would hold.
+        """
+        self._ensure_open()
+        shards = list(range(self.n_shards))
+        replies = self._fanout_read(
+            "sketches", [() for _ in shards], shards, allow_lost=True
+        )
+        return merge_payloads(
+            [get_sketch_registry().to_payload(), *replies]
+        )
+
+    def health(self) -> dict:
+        """One cluster-wide health rollup (``silkmoth-health/1``).
+
+        Merges the cross-shard latency sketches, cache hit rates, WAL
+        positions, replica health and failover history, the slowlog
+        state, and any currently-degraded shards into a single JSON
+        document; ``status`` is ``"degraded"`` as soon as one shard has
+        zero healthy replicas, else ``"ok"``.  Best-effort by design:
+        asking for health must work *especially* while degraded.
+        """
+        self._ensure_open()
+        shards = list(range(self.n_shards))
+        wal_replies = self._fanout_read(
+            "wal", [() for _ in shards], shards, allow_lost=True
+        )
+        positions_known = sum(
+            1 for position in wal_replies if position is not None
+        )
+        health_flags = self.replica_health()
+        lost = self.lost_shards()
+        slowlog = get_slowlog()
+        replication = self.stats.replication_summary()
+        replication.update(
+            {
+                "healthy_replicas": sum(sum(flags) for flags in health_flags),
+                "total_replicas": sum(len(flags) for flags in health_flags),
+                "lost_shards": lost,
+            }
+        )
+        return {
+            "schema": "silkmoth-health/1",
+            "kind": "cluster",
+            "status": "degraded" if lost else "ok",
+            "shards": self.n_shards,
+            "transport": self._transport_name,
+            "generation": self.generation,
+            "live_sets": len(self),
+            "cache": self.stats.cache_summary(),
+            "latency": quantile_summary(self.merged_sketches()),
+            "wal": {
+                "enabled": positions_known > 0,
+                "positions_known": positions_known,
+            },
+            "replication": replication,
+            "slowlog": {
+                "captured": len(slowlog),
+                "threshold_ms": slowlog_ms(),
+            },
+        }
 
     def info(self) -> dict:
         """Cluster descriptor: shards, routing state, merged profile."""

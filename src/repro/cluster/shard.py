@@ -26,6 +26,7 @@ from repro.core.config import SilkMothConfig
 from repro.core.records import SetCollection
 from repro.io.wal import reset_wal_directory
 from repro.obs.autocal import AUTOCAL_SOURCE
+from repro.obs.sketch import get_sketch_registry
 from repro.obs.trace import collect_remote, span
 from repro.planner.cost import MeasuredCosts
 from repro.service.service import SilkMothService
@@ -239,6 +240,17 @@ class ShardHost:
             "stats": service.stats.to_dict(),
         }
         return payload
+
+    def _cmd_sketches(self) -> dict:
+        """This process's quantile-sketch registry as a payload.
+
+        The payload is pid-tagged: under the inline transport every
+        shard shares the coordinator's process-global registry, and the
+        coordinator's merge deduplicates by pid so those recordings are
+        counted exactly once.  Worker processes (process/socket
+        transports) each report their own registry.
+        """
+        return get_sketch_registry().to_payload()
 
     def _cmd_close(self) -> None:
         """Protocol no-op: transports intercept close before dispatch."""

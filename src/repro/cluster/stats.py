@@ -125,6 +125,20 @@ class ClusterStats(ServiceStats):
         considered = self.shards_routed_total + self.shards_skipped_total
         return self.shards_skipped_total / considered if considered else 0.0
 
+    def replication_summary(self) -> dict:
+        """Replica-lifecycle counters in the ``silkmoth-health/1`` shape.
+
+        The ``replication`` section of the cluster health rollup; the
+        live healthy/total replica counts are coordinator state and are
+        merged in by :meth:`SilkMothCluster.health`.
+        """
+        return {
+            "failovers": self.failovers,
+            "replicas_lost": self.replicas_lost,
+            "replicas_revived": self.replicas_revived,
+            "degraded_failures": self.degraded_failures,
+        }
+
     def to_dict(self) -> dict:
         """JSON-serialisable summary (cluster manifests / CLI)."""
         payload = super().to_dict()

@@ -38,6 +38,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import time
 import traceback
 from multiprocessing.connection import Client, Connection, Listener
 from typing import Sequence
@@ -45,6 +46,7 @@ from typing import Sequence
 from repro.cluster.shard import ShardHost
 from repro.core.config import SilkMothConfig
 from repro.io.crash import CrashInjected
+from repro.obs.sketch import get_sketch_registry
 
 #: Environment variable naming the default transport.
 TRANSPORT_ENV_VAR = "SILKMOTH_CLUSTER_TRANSPORT"
@@ -55,6 +57,21 @@ KNOWN_TRANSPORTS = ("inline", "process", "socket")
 
 class ShardTransportError(RuntimeError):
     """A shard worker raised while handling a command."""
+
+
+def _observe_collect_wait(transport: str, seconds: float) -> None:
+    """Record how long one ``collect`` blocked on a shard reply.
+
+    Feeds the ``silkmoth_transport_wait_quantile`` sketch family: the
+    coordinator-side straggler signal.  Inline shards answer at submit
+    time, so their wait is structurally zero; under the worker
+    transports this is the per-reply tail the fan-out actually pays.
+    """
+    get_sketch_registry().register(
+        "silkmoth_transport_wait_quantile",
+        "Coordinator wall seconds blocked collecting one shard reply.",
+        ("transport",),
+    ).record(seconds, transport=transport)
 
 
 class ShardTimeoutError(ShardTransportError):
@@ -166,6 +183,7 @@ class InlineTransport(ShardTransport):
         ok, value = self._pending.pop(0)
         if not ok:
             raise ShardTransportError(value)
+        _observe_collect_wait("inline", 0.0)
         return value
 
     def close(self) -> None:
@@ -228,6 +246,9 @@ def _worker_loop(conn: Connection) -> None:
 class _RemoteTransport(ShardTransport):
     """Shared plumbing for the worker-process transports."""
 
+    #: Transport-kind label on the collect-wait sketch (subclasses set it).
+    kind = "remote"
+
     def __init__(self) -> None:
         self._conn: Connection | None = None
         self._process: multiprocessing.Process | None = None
@@ -288,6 +309,7 @@ class _RemoteTransport(ShardTransport):
         if self._outstanding <= 0:
             raise ShardTransportError("collect() without a pending submit()")
         self._outstanding -= 1
+        started = time.perf_counter()
         if timeout is not None and not self._conn.poll(timeout):
             raise ShardTimeoutError(
                 f"no shard reply within {timeout:.3f}s deadline"
@@ -298,6 +320,7 @@ class _RemoteTransport(ShardTransport):
             raise ShardTransportError(f"shard worker died: {exc}") from exc
         if not ok:
             raise ShardTransportError(value)
+        _observe_collect_wait(self.kind, time.perf_counter() - started)
         return value
 
     def close(self) -> None:
@@ -339,6 +362,8 @@ class _RemoteTransport(ShardTransport):
 class ProcessTransport(_RemoteTransport):
     """One worker process per shard over a duplex pipe."""
 
+    kind = "process"
+
     def __init__(
         self,
         config: SilkMothConfig,
@@ -379,6 +404,8 @@ class SocketTransport(_RemoteTransport):
     :mod:`multiprocessing.connection` channel a remote machine would
     use, which is the point of shipping this transport at all.
     """
+
+    kind = "socket"
 
     def __init__(
         self,

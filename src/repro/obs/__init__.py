@@ -1,15 +1,21 @@
-"""Unified telemetry: tracing spans, metrics, and auto-calibration.
+"""Unified telemetry: spans, metrics, sketches, diagnostics, autocal.
 
 ``repro.obs`` is the cross-cutting observability layer the staged
 pipeline, planner, service and cluster all report into:
 
 * :mod:`repro.obs.trace` -- per-query span trees (``SILKMOTH_TRACE``),
   propagated across shard processes, exported as JSONL and rendered as
-  text flame summaries;
+  text flame summaries and self-time hotspot tables;
 * :mod:`repro.obs.metrics` -- the process-wide registry of counters,
   gauges and histograms (always on);
+* :mod:`repro.obs.sketch` -- mergeable relative-error quantile
+  sketches (DDSketch-style), folded across shard processes and
+  exposed as Prometheus ``summary`` families;
+* :mod:`repro.obs.diag` -- the bounded slow-query log with full plan
+  provenance (``SILKMOTH_SLOWLOG_MS``) and the health-rollup
+  renderers behind ``silkmoth slowlog`` / ``silkmoth health``;
 * :mod:`repro.obs.export` -- Prometheus text-format and JSON renderers
-  over the registry (``silkmoth stats --metrics``);
+  over both registries (``silkmoth stats --metrics``);
 * :mod:`repro.obs.instrument` -- the bridge folding the existing
   ``PassStats``/``ServiceStats``/``ClusterPassStats`` hot paths into
   registry updates;
@@ -19,6 +25,21 @@ pipeline, planner, service and cluster all report into:
 """
 
 from .autocal import AutoCalibrator, resolve_autocal_interval
+from .diag import (
+    SlowQueryLog,
+    format_health,
+    format_slowlog,
+    get_slowlog,
+    load_slowlog_jsonl,
+    observe_slow_cluster_query,
+    observe_slow_pass,
+    reset_slowlog,
+    resolve_slowlog_capacity,
+    resolve_slowlog_ms,
+    set_slowlog_ms,
+    slowlog_export_path,
+    slowlog_ms,
+)
 from .export import to_json, to_prometheus_text
 from .metrics import (
     MetricsRegistry,
@@ -26,12 +47,25 @@ from .metrics import (
     reset_registry,
     resolve_buckets,
 )
+from .sketch import (
+    QuantileSketch,
+    SketchFamily,
+    SketchRegistry,
+    get_sketch_registry,
+    merge_payloads,
+    quantile_summary,
+    reset_sketch_registry,
+    resolve_sketch_alpha,
+    set_sketch_alpha,
+    sketch_alpha,
+)
 from .trace import (
     Span,
     collect_remote,
     current_context,
     export_jsonl,
     format_flame,
+    format_hotspots,
     get_tracer,
     ingest,
     load_jsonl,
@@ -43,19 +77,43 @@ from .trace import (
 __all__ = [
     "AutoCalibrator",
     "MetricsRegistry",
+    "QuantileSketch",
+    "SketchFamily",
+    "SketchRegistry",
+    "SlowQueryLog",
     "Span",
     "collect_remote",
     "current_context",
     "export_jsonl",
     "format_flame",
+    "format_health",
+    "format_hotspots",
+    "format_slowlog",
     "get_registry",
+    "get_sketch_registry",
+    "get_slowlog",
     "get_tracer",
     "ingest",
     "load_jsonl",
+    "load_slowlog_jsonl",
+    "merge_payloads",
+    "observe_slow_cluster_query",
+    "observe_slow_pass",
+    "quantile_summary",
     "reset_registry",
+    "reset_sketch_registry",
+    "reset_slowlog",
     "resolve_autocal_interval",
     "resolve_buckets",
+    "resolve_sketch_alpha",
+    "resolve_slowlog_capacity",
+    "resolve_slowlog_ms",
+    "set_sketch_alpha",
+    "set_slowlog_ms",
     "set_trace_enabled",
+    "sketch_alpha",
+    "slowlog_export_path",
+    "slowlog_ms",
     "span",
     "to_json",
     "to_prometheus_text",

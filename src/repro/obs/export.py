@@ -1,18 +1,30 @@
-"""Render the metrics registry as Prometheus text or JSON.
+"""Render the metrics and sketch registries as Prometheus text or JSON.
 
 The Prometheus exposition follows the text format version 0.0.4:
 ``# HELP`` / ``# TYPE`` headers precede each family's samples,
 histograms emit cumulative ``le``-labelled buckets ending in ``+Inf``
-plus ``_sum`` and ``_count`` series, and label values are escaped.
-``tools/check_metrics_format.py`` lints exactly this contract in CI.
+plus ``_sum`` and ``_count`` series, quantile sketches render as
+``summary`` families (``quantile``-labelled samples plus ``_sum`` and
+``_count``), and label values are escaped.  Families from both
+registries are emitted in one globally name-sorted stream and labelled
+children are sorted within each family, so the exposition is
+deterministic and golden-file-diffable.
+``tools/check_metrics_format.py`` lints exactly this contract
+(including the ordering) in CI.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import Metric, MetricsRegistry, get_registry
+from .sketch import (
+    EXPOSED_QUANTILES,
+    SketchFamily,
+    SketchRegistry,
+    get_sketch_registry,
+)
 
 
 def _escape_label(value: str) -> str:
@@ -64,21 +76,86 @@ def _prometheus_family(metric: Metric) -> List[str]:
     return lines
 
 
-def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
-    """The whole registry in Prometheus text exposition format."""
+def _prometheus_sketch_family(family: SketchFamily) -> List[str]:
+    """One sketch family as a Prometheus ``summary``."""
+    lines = [
+        f"# HELP {family.name} {family.help}",
+        f"# TYPE {family.name} summary",
+    ]
+    for label_values, sketch in family.series():
+        for q in EXPOSED_QUANTILES:
+            estimate = sketch.quantile(q)
+            if estimate is None:
+                continue
+            labels = _format_labels(
+                family.label_names, label_values, {"quantile": format(q, "g")}
+            )
+            lines.append(f"{family.name}{labels} {repr(float(estimate))}")
+        plain = _format_labels(family.label_names, label_values)
+        lines.append(f"{family.name}_sum{plain} {repr(float(sketch.sum))}")
+        lines.append(f"{family.name}_count{plain} {sketch.count}")
+    return lines
+
+
+def _sorted_families(
+    registry: Optional[MetricsRegistry],
+    sketches: Optional[SketchRegistry],
+) -> List[Tuple[str, object]]:
+    """Metric and sketch families merged into one name-sorted list."""
     registry = registry if registry is not None else get_registry()
+    sketches = sketches if sketches is not None else get_sketch_registry()
+    entries: List[Tuple[str, object]] = [
+        (metric.name, metric) for metric in registry.families()
+    ]
+    entries.extend((family.name, family) for family in sketches.families())
+    entries.sort(key=lambda pair: pair[0])
+    return entries
+
+
+def to_prometheus_text(
+    registry: Optional[MetricsRegistry] = None,
+    sketches: Optional[SketchRegistry] = None,
+) -> str:
+    """Both registries in Prometheus text exposition format."""
     lines: List[str] = []
-    for metric in registry.families():
-        lines.extend(_prometheus_family(metric))
+    for _, family in _sorted_families(registry, sketches):
+        if isinstance(family, SketchFamily):
+            lines.extend(_prometheus_sketch_family(family))
+        else:
+            lines.extend(_prometheus_family(family))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def to_json(registry: Optional[MetricsRegistry] = None) -> str:
-    """The whole registry as a JSON document (machine-diffable)."""
-    registry = registry if registry is not None else get_registry()
+def to_json(
+    registry: Optional[MetricsRegistry] = None,
+    sketches: Optional[SketchRegistry] = None,
+) -> str:
+    """Both registries as one JSON document (machine-diffable)."""
     payload: Dict[str, Any] = {"schema": "silkmoth-metrics/1", "metrics": []}
-    for metric in registry.families():
-        entry: Dict[str, Any] = {
+    for _, family in _sorted_families(registry, sketches):
+        if isinstance(family, SketchFamily):
+            entry: Dict[str, Any] = {
+                "name": family.name,
+                "help": family.help,
+                "kind": "summary",
+                "label_names": list(family.label_names),
+                "series": [],
+            }
+            for label_values, sketch in family.series():
+                series: Dict[str, Any] = {
+                    "labels": list(label_values),
+                    "quantiles": {
+                        format(q, "g"): sketch.quantile(q)
+                        for q in EXPOSED_QUANTILES
+                    },
+                    "sum": sketch.sum,
+                    "count": sketch.count,
+                }
+                entry["series"].append(series)
+            payload["metrics"].append(entry)
+            continue
+        metric = family
+        entry = {
             "name": metric.name,
             "help": metric.help,
             "kind": metric.kind,
@@ -88,7 +165,7 @@ def to_json(registry: Optional[MetricsRegistry] = None) -> str:
         if metric.kind == "histogram":
             entry["buckets"] = list(metric.buckets)
         for label_values, child in metric.series():
-            series: Dict[str, Any] = {"labels": list(label_values)}
+            series = {"labels": list(label_values)}
             if metric.kind == "histogram":
                 series["bucket_counts"] = list(child.bucket_counts)
                 series["sum"] = child.sum

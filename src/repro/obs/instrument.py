@@ -14,7 +14,10 @@ objects into registry updates at the moments they are recorded:
 
 Metric handles are resolved lazily and cached against the registry
 instance, so tests that call :func:`repro.obs.metrics.reset_registry`
-get fresh families on the next observation.
+get fresh families on the next observation.  The same pattern covers
+the quantile sketches: :func:`observe_query` and :func:`observe_pass`
+also record into the ``silkmoth_*_quantile`` sketch families, cached
+against the sketch registry.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .metrics import MetricsRegistry, get_registry
+from .sketch import SketchRegistry, get_sketch_registry
 
 _FUNNEL_STAGES = (
     ("initial", "initial_candidates"),
@@ -184,7 +188,29 @@ class _Handles:
         )
 
 
+class _SketchHandles:
+    """Quantile-sketch families registered once per sketch registry."""
+
+    def __init__(self, registry: SketchRegistry) -> None:
+        self.registry = registry
+        self.query_latency = registry.register(
+            "silkmoth_query_latency_quantile",
+            "End-to-end service query latency quantiles (seconds).",
+        )
+        self.stage_latency = registry.register(
+            "silkmoth_stage_latency_quantile",
+            "Per-stage pipeline latency quantiles (seconds).",
+            ("stage",),
+        )
+        self.pass_latency = registry.register(
+            "silkmoth_pass_latency_quantile",
+            "Whole-pass pipeline latency quantiles (seconds).",
+            ("backend",),
+        )
+
+
 _handles: Optional[_Handles] = None
+_sketch_handles: Optional[_SketchHandles] = None
 
 
 def handles() -> _Handles:
@@ -196,6 +222,15 @@ def handles() -> _Handles:
     return _handles
 
 
+def sketch_handles() -> _SketchHandles:
+    """Current sketch handle set, rebuilt if the registry was reset."""
+    global _sketch_handles
+    registry = get_sketch_registry()
+    if _sketch_handles is None or _sketch_handles.registry is not registry:
+        _sketch_handles = _SketchHandles(registry)
+    return _sketch_handles
+
+
 def observe_pass(stats) -> None:
     """Fold one cold-pass ``PassStats`` into the registry."""
     h = handles()
@@ -205,6 +240,10 @@ def observe_pass(stats) -> None:
         h.stage_seconds.inc(seconds, stage=stage)
         total += seconds
     h.pass_seconds.observe(total, backend=stats.backend or "unknown")
+    sk = sketch_handles()
+    for stage, seconds in stats.stage_seconds.items():
+        sk.stage_latency.record(seconds, stage=stage)
+    sk.pass_latency.record(total, backend=stats.backend or "unknown")
     for label, attr in _FUNNEL_STAGES:
         h.candidates.inc(getattr(stats, attr), stage=label)
     if stats.full_scan:
@@ -223,6 +262,7 @@ def observe_query(latency: float, cache_hit: bool) -> None:
     h = handles()
     h.queries.inc(result="hit" if cache_hit else "miss")
     h.query_latency.observe(latency)
+    sketch_handles().query_latency.record(latency)
 
 
 def observe_routing(cluster_pass) -> None:

@@ -355,3 +355,52 @@ def format_flame(spans: Iterable[Dict[str, Any]]) -> str:
             if s["trace_id"] == trace_id:
                 emit(s, 1)
     return "\n".join(lines)
+
+
+def format_hotspots(spans: Iterable[Dict[str, Any]], top: int = 10) -> str:
+    """Aggregate span *self-time* across a trace file, hottest first.
+
+    A span's self-time is its wall clock minus the wall clock of its
+    direct children (clamped at zero: children recorded in another
+    process can overlap their parent), so the ranking answers "where
+    does the time actually go?" rather than re-counting every enclosing
+    span.  Spans aggregate by name across every trace in the file; the
+    table shows the *top* hottest names with call counts, total
+    self-time, and total wall time.
+    """
+    spans = list(spans)
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    child_wall: Dict[str, float] = {}
+    span_ids = {s["span_id"] for s in spans}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent in span_ids:
+            child_wall[parent] = child_wall.get(parent, 0.0) + s.get(
+                "wall_seconds", 0.0
+            )
+    totals: Dict[str, Dict[str, float]] = {}
+    for s in spans:
+        wall = s.get("wall_seconds", 0.0)
+        self_time = max(0.0, wall - child_wall.get(s["span_id"], 0.0))
+        entry = totals.setdefault(
+            s["name"], {"count": 0, "self": 0.0, "wall": 0.0}
+        )
+        entry["count"] += 1
+        entry["self"] += self_time
+        entry["wall"] += wall
+    ranked = sorted(
+        totals.items(), key=lambda item: (-item[1]["self"], item[0])
+    )[:top]
+    if not ranked:
+        return "no spans"
+    name_width = max(len(name) for name, _ in ranked)
+    lines = [
+        f"{'span':<{name_width}}  {'calls':>7}  {'self':>12}  {'wall':>12}"
+    ]
+    for name, entry in ranked:
+        lines.append(
+            f"{name:<{name_width}}  {int(entry['count']):>7}  "
+            f"{entry['self']:>11.6f}s  {entry['wall']:>11.6f}s"
+        )
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ from repro.core.records import SetCollection, SetRecord
 from repro.core.results import SearchResult
 from repro.core.stats import PassStats
 from repro.index.inverted import InvertedIndex
+from repro.obs.diag import observe_slow_pass
 from repro.obs.instrument import observe_pass
 from repro.obs.trace import span
 from repro.planner.planner import PlannerDecision, plan_query
@@ -192,4 +193,5 @@ class QueryPlan:
             stats.sim_cache_hits = memo.hits - hits_before
             stats.sim_cache_misses = memo.misses - misses_before
         observe_pass(stats)
+        observe_slow_pass(stats, self.decision, len(self.reference))
         return state.results, stats

@@ -53,7 +53,9 @@ from repro.io.wal import (
     wal_directory_in_use,
 )
 from repro.obs.autocal import AutoCalibrator
+from repro.obs.diag import get_slowlog, slowlog_ms
 from repro.obs.instrument import observe_mutation, observe_wal_recovery
+from repro.obs.sketch import quantile_summary
 from repro.obs.trace import span
 from repro.service.batch import parallel_cold_search, plan_batch
 from repro.service.cache import (
@@ -550,6 +552,36 @@ class SilkMothService:
         """Release the WAL file handle (no-op without a WAL)."""
         if self.wal is not None:
             self.wal.close()
+
+    def health(self) -> dict:
+        """One service health rollup (``silkmoth-health/1``).
+
+        Latency quantiles come from this process's sketch registry,
+        cache hit rates from :meth:`ServiceStats.cache_summary`, plus
+        the WAL position and the slowlog state -- the same document
+        shape :meth:`repro.cluster.SilkMothCluster.health` produces
+        cluster-wide, rendered by ``silkmoth health``.
+        """
+        position = self.wal_position()
+        slowlog = get_slowlog()
+        return {
+            "schema": "silkmoth-health/1",
+            "kind": "service",
+            "status": "ok",
+            "generation": self.generation,
+            "live_sets": self.collection.live_count,
+            "cache": self.stats.cache_summary(),
+            "latency": quantile_summary(),
+            "wal": {
+                "enabled": position is not None,
+                "positions_known": 1 if position is not None else 0,
+                "position": position,
+            },
+            "slowlog": {
+                "captured": len(slowlog),
+                "threshold_ms": slowlog_ms(),
+            },
+        }
 
     def state_fingerprint(self) -> str:
         """Digest of the logical state: sets, tombstones, generation.

@@ -154,6 +154,19 @@ class ServiceStats:
             for name, seconds in pass_stats.stage_seconds.items():
                 stages[name] = stages.get(name, 0.0) + seconds
 
+    def cache_summary(self) -> dict:
+        """Cache and traffic counters in the ``silkmoth-health/1`` shape.
+
+        The ``cache`` section of :meth:`repro.service.SilkMothService.health`
+        and the cluster rollup both read from here, so the two documents
+        stay field-compatible.
+        """
+        return {
+            "queries": self.queries,
+            "hit_rate": round(self.cache_hit_rate, 4),
+            "sim_hit_rate": round(self.sim_cache_hit_rate, 4),
+        }
+
     def export_cost_profile(
         self, path: "str | os.PathLike", extra: "dict | None" = None
     ) -> dict:

@@ -3,7 +3,9 @@
 Covers counter/gauge/histogram semantics, label validation, the
 ``SILKMOTH_METRICS_BUCKETS`` override, Prometheus text exposition
 (cumulative ``le`` buckets, ``+Inf``, ``_sum`` / ``_count``, label
-escaping) and the JSON exposition -- plus the CI lint tool
+escaping), sketch-backed ``summary`` families, the determinism rules
+(name-sorted families, sorted contiguous label sets, monotone
+quantiles) and the JSON exposition -- plus the CI lint tool
 ``tools/check_metrics_format.py`` run against real output.
 """
 
@@ -23,6 +25,7 @@ from repro.obs.metrics import (
     reset_registry,
     resolve_buckets,
 )
+from repro.obs.sketch import SketchRegistry
 
 _TOOLS = Path(__file__).resolve().parent.parent / "tools"
 
@@ -180,6 +183,125 @@ class TestPrometheusText:
             "h_count 4\n"
         )
         assert any("_count" in msg or "!=" in msg for _, msg in lint.lint(drift))
+
+
+class TestSummaryExposition:
+    def _sketches(self):
+        sketches = SketchRegistry()
+        family = sketches.register(
+            "q_latency", "query latency", ("stage",)
+        )
+        for stage in ("check", "verify"):
+            for value in (0.01, 0.02, 0.5):
+                family.record(value, stage=stage)
+        return sketches
+
+    def test_sketch_family_renders_as_summary(self):
+        text = to_prometheus_text(MetricsRegistry(), self._sketches())
+        assert "# TYPE q_latency summary" in text
+        assert 'q_latency{stage="check",quantile="0.5"}' in text
+        assert 'q_latency_sum{stage="check"}' in text
+        assert 'q_latency_count{stage="check"} 3' in text
+
+    def test_summary_exposition_passes_lint(self):
+        lint = _load_lint()
+        registry = MetricsRegistry()
+        registry.register("c_total", "help", "counter").inc()
+        text = to_prometheus_text(registry, self._sketches())
+        assert lint.lint(text) == []
+
+    def test_families_merge_name_sorted(self):
+        """Metric and sketch families interleave in one sorted stream."""
+        registry = MetricsRegistry()
+        registry.register("zz_total", "help", "counter").inc()
+        registry.register("aa_total", "help", "counter").inc()
+        text = to_prometheus_text(registry, self._sketches())
+        order = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert order == sorted(order)
+        assert "q_latency" in order
+
+    def test_json_summary_entries(self):
+        payload = json.loads(to_json(MetricsRegistry(), self._sketches()))
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        entry = by_name["q_latency"]
+        assert entry["kind"] == "summary"
+        series = entry["series"][0]
+        assert series["labels"] == ["check"]
+        assert series["count"] == 3
+        assert series["quantiles"]["0.5"] == pytest.approx(0.02, rel=0.05)
+
+
+class TestDeterminismLint:
+    def test_unsorted_family_order_flagged(self):
+        lint = _load_lint()
+        scrambled = (
+            "# HELP z_total help\n"
+            "# TYPE z_total counter\n"
+            "z_total 1\n"
+            "# HELP a_total help\n"
+            "# TYPE a_total counter\n"
+            "a_total 1\n"
+        )
+        assert any(
+            "sorted name order" in msg for _, msg in lint.lint(scrambled)
+        )
+
+    def test_interleaved_series_flagged(self):
+        lint = _load_lint()
+        interleaved = (
+            "# HELP c_total help\n"
+            "# TYPE c_total counter\n"
+            'c_total{kind="a"} 1\n'
+            'c_total{kind="b"} 1\n'
+            'c_total{kind="a"} 2\n'
+        )
+        assert any(
+            "interleaved" in msg for _, msg in lint.lint(interleaved)
+        )
+
+    def test_unsorted_label_sets_flagged(self):
+        lint = _load_lint()
+        unsorted = (
+            "# HELP c_total help\n"
+            "# TYPE c_total counter\n"
+            'c_total{kind="b"} 1\n'
+            'c_total{kind="a"} 1\n'
+        )
+        assert any(
+            "not in sorted order" in msg for _, msg in lint.lint(unsorted)
+        )
+
+    def test_quantile_order_and_monotonicity_flagged(self):
+        lint = _load_lint()
+        shuffled = (
+            "# HELP s help\n"
+            "# TYPE s summary\n"
+            's{quantile="0.9"} 1.0\n'
+            's{quantile="0.5"} 2.0\n'
+            "s_sum 3.0\n"
+            "s_count 2\n"
+        )
+        problems = [msg for _, msg in lint.lint(shuffled)]
+        assert any("quantile labels not sorted" in msg for msg in problems)
+        assert any("not monotone" in msg for msg in problems)
+
+    def test_real_full_exposition_is_deterministic(self):
+        """Two expositions of the same state are byte-identical."""
+        registry = MetricsRegistry()
+        registry.register("c_total", "help", "counter", ("k",)).inc(k="b")
+        registry.get("c_total").inc(k="a")
+        sketches = SketchRegistry()
+        sketches.register("s_latency", "help", ("stage",)).record(
+            0.1, stage="check"
+        )
+        first = to_prometheus_text(registry, sketches)
+        second = to_prometheus_text(registry, sketches)
+        assert first == second
+        assert _load_lint().lint(first) == []
 
 
 class TestJsonExport:

@@ -9,11 +9,17 @@ promises:
 
 * metric and label names match the Prometheus naming grammar;
 * every sample is preceded by ``# HELP`` and ``# TYPE`` lines for its
-  family, and the TYPE is one of counter/gauge/histogram;
+  family, and the TYPE is one of counter/gauge/histogram/summary;
 * sample values parse as floats and counter samples are non-negative;
 * histogram ``le`` buckets are sorted, cumulative (monotone
   non-decreasing counts), and end with ``le="+Inf"``;
-* each histogram series' ``_count`` equals its ``+Inf`` bucket.
+* each histogram series' ``_count`` equals its ``+Inf`` bucket;
+* summary ``quantile`` samples are sorted by quantile and their values
+  are monotone non-decreasing (a p99 below the p50 is a bug);
+* the exposition is *deterministic*: families first appear in
+  name-sorted order, and within a family the labelled series appear in
+  sorted label-value order -- so two expositions of the same state
+  diff cleanly.
 
 Usage::
 
@@ -39,16 +45,22 @@ LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 _TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 #: Suffixes a histogram family's samples may carry.
 _HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+#: Suffixes a summary family's samples may carry (quantile samples use
+#: the bare family name).
+_SUMMARY_SUFFIXES = ("_sum", "_count")
 
 
 def _family_of(sample_name: str, types: dict) -> str:
-    """Map a sample name to its declaring family (histogram suffixes)."""
+    """Map a sample name to its declaring family (histogram/summary
+    suffixes collapse onto the base name)."""
     if sample_name in types:
         return sample_name
     for suffix in _HISTO_SUFFIXES:
         if sample_name.endswith(suffix):
             base = sample_name[: -len(suffix)]
             if types.get(base) == "histogram":
+                return base
+            if types.get(base) == "summary" and suffix in _SUMMARY_SUFFIXES:
                 return base
     return sample_name
 
@@ -61,6 +73,19 @@ def lint(text: str) -> list:
     # (family, label-key) -> list of (le, cumulative count) in file order.
     buckets: dict = {}
     counts: dict = {}
+    # Family name -> line of first appearance (HELP/TYPE/sample), in
+    # file order -- the exposition must introduce families name-sorted.
+    family_order: dict = {}
+    # Family -> consecutive-deduped (lineno, label-values) series keys in
+    # file order (le/quantile excluded) -- must be sorted per family.
+    series_order: dict = {}
+    # (family, label-key) -> list of (lineno, quantile, value) for
+    # summary quantile samples, in file order.
+    quantiles: dict = {}
+
+    def _note_family(name: str, lineno: int) -> None:
+        family_order.setdefault(name, lineno)
+
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -70,6 +95,7 @@ def lint(text: str) -> list:
                 problems.append((lineno, "malformed HELP line"))
                 continue
             helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            _note_family(parts[2], lineno)
             continue
         if line.startswith("# TYPE "):
             parts = line.split()
@@ -79,6 +105,7 @@ def lint(text: str) -> list:
             if parts[2] in types:
                 problems.append((lineno, f"duplicate TYPE for {parts[2]}"))
             types[parts[2]] = parts[3]
+            _note_family(parts[2], lineno)
             continue
         if line.startswith("#"):
             continue  # arbitrary comments are legal
@@ -95,7 +122,9 @@ def lint(text: str) -> list:
             problems.append((lineno, f"sample {name!r} has no TYPE line"))
         if family not in helps:
             problems.append((lineno, f"sample {name!r} has no HELP line"))
+        _note_family(family, lineno)
         labels = {}
+        ordered_values = []
         if label_blob:
             for label_name, label_value in LABEL_PAIR_RE.findall(label_blob):
                 if not LABEL_NAME_RE.match(label_name):
@@ -103,6 +132,12 @@ def lint(text: str) -> list:
                         (lineno, f"invalid label name {label_name!r}")
                     )
                 labels[label_name] = label_value
+                if label_name not in ("le", "quantile"):
+                    ordered_values.append(label_value)
+        series_key = tuple(ordered_values)
+        family_series = series_order.setdefault(family, [])
+        if not family_series or family_series[-1][1] != series_key:
+            family_series.append((lineno, series_key))
         try:
             value = float(raw_value)
         except ValueError:
@@ -130,6 +165,17 @@ def lint(text: str) -> list:
         if kind == "histogram" and name.endswith("_count"):
             key = (family, tuple(sorted(labels.items())))
             counts[key] = (lineno, value)
+        if kind == "summary" and name == family and "quantile" in labels:
+            try:
+                q = float(labels["quantile"])
+            except ValueError:
+                problems.append(
+                    (lineno, f"unparseable quantile {labels['quantile']!r}")
+                )
+                continue
+            quantiles.setdefault((family, series_key), []).append(
+                (lineno, q, value)
+            )
     for (family, label_key), series in buckets.items():
         bounds = [bound for _, bound, _ in series]
         values = [value for _, _, value in series]
@@ -156,6 +202,57 @@ def lint(text: str) -> list:
                     count[0],
                     f"{family}_count {count[1]:g} != +Inf bucket "
                     f"{values[-1]:g}",
+                )
+            )
+    for (family, _), rows in quantiles.items():
+        qs = [q for _, q, _ in rows]
+        first_line = rows[0][0]
+        if qs != sorted(qs):
+            problems.append(
+                (first_line, f"{family} quantile labels not sorted")
+            )
+        # Monotonicity is a property of the (q, value) pairs, not of
+        # the file order: sort by quantile before comparing values.
+        values = [
+            value for _, _, value in sorted(rows, key=lambda row: row[1])
+        ]
+        if values != sorted(values):
+            problems.append(
+                (
+                    first_line,
+                    f"{family} quantile values not monotone in quantile",
+                )
+            )
+    previous = None
+    for family, lineno in family_order.items():
+        if previous is not None and family < previous:
+            problems.append(
+                (
+                    lineno,
+                    f"family {family} appears after {previous}; families "
+                    "must be emitted in sorted name order",
+                )
+            )
+        previous = family
+    for family, entries in series_order.items():
+        keys = [key for _, key in entries]
+        deduped = []
+        for key in keys:
+            if key not in deduped:
+                deduped.append(key)
+        if len(deduped) != len(keys):
+            problems.append(
+                (
+                    entries[0][0],
+                    f"{family} label sets interleaved (series must be "
+                    "contiguous)",
+                )
+            )
+        elif keys != sorted(keys):
+            problems.append(
+                (
+                    entries[0][0],
+                    f"{family} label sets not in sorted order",
                 )
             )
     return problems
